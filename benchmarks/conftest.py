@@ -1,0 +1,99 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table and figure is regenerated here from one seeded world.
+Expensive simulations (the six-week supplemental campaign, the
+multi-year snapshot series) run once per session; each benchmark then
+times the *analysis* step — the paper's contribution — and writes the
+reproduced table or figure to ``results/``.
+"""
+
+import datetime as dt
+import pathlib
+import sys
+
+import pytest
+
+_SRC = pathlib.Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.grouping import GroupBuilder  # noqa: E402
+from repro.core.pipeline import ReproductionStudy, StudyConfig  # noqa: E402
+from repro.scan.snapshot import SnapshotCollector  # noqa: E402
+
+SEED = 42
+
+RESULTS_DIR = pathlib.Path(__file__).parent.parent / "results"
+
+#: The paper's full-space measurement windows (Table 1).
+RAPID7_START, RAPID7_END = dt.date(2019, 10, 1), dt.date(2021, 1, 1)
+OPENINTEL_START, OPENINTEL_END = dt.date(2020, 2, 17), dt.date(2021, 12, 1)
+
+
+@pytest.fixture(scope="session")
+def study():
+    """One paper-configuration study shared by every benchmark."""
+    return ReproductionStudy(StudyConfig(seed=SEED))
+
+
+@pytest.fixture(scope="session")
+def world(study):
+    return study.world
+
+
+@pytest.fixture(scope="session")
+def dynamicity_report(study):
+    return study.dynamicity()
+
+
+@pytest.fixture(scope="session")
+def leak_report(study):
+    return study.leaks()
+
+
+@pytest.fixture(scope="session")
+def supplemental(study):
+    """The six-week supplemental campaign (Sections 6-7)."""
+    return study.supplemental()
+
+
+@pytest.fixture(scope="session")
+def groups(study):
+    return study.groups()
+
+
+@pytest.fixture(scope="session")
+def group_builder():
+    return GroupBuilder()
+
+
+@pytest.fixture(scope="session")
+def usable_groups(study):
+    return study.usable_groups()
+
+
+@pytest.fixture(scope="session")
+def openintel_series(world):
+    """Daily full-space snapshots over the paper's OpenINTEL window."""
+    collector = SnapshotCollector.openintel_style(world.internet)
+    return collector.collect(OPENINTEL_START, OPENINTEL_END)
+
+
+@pytest.fixture(scope="session")
+def rapid7_series(world):
+    """Weekly full-space snapshots over the paper's Rapid7 window."""
+    collector = SnapshotCollector.rapid7_style(world.internet)
+    return collector.collect(RAPID7_START, RAPID7_END)
+
+
+@pytest.fixture(scope="session")
+def write_artifact():
+    """Write a reproduced table/figure under results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, title: str, body: str) -> pathlib.Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(f"{title}\n{'=' * len(title)}\n\n{body}\n")
+        return path
+
+    return _write

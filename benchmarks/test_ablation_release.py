@@ -1,0 +1,109 @@
+"""Ablation: DHCP RELEASE behaviour vs PTR lingering (future work, §10).
+
+The paper closes asking whether *not* sending DHCP releases is "a
+possible defense mechanism": without releases, the PTR only disappears
+when the lease expires, so an outside observer's estimate of departure
+time blurs by up to a full lease period.  This bench runs the same
+population twice — all clients releasing vs none — and compares the
+lingering-time distributions.
+"""
+
+import datetime as dt
+
+from repro.core import GroupBuilder, lingering_analysis
+from repro.ipam import CarryOverPolicy
+from repro.netsim.engine import SimulationEngine
+from repro.netsim.finegrained import NetworkRuntime
+from repro.netsim.network import Network, NetworkType, Subnet, SubnetRole
+from repro.netsim.person import PersonGenerator
+from repro.netsim.population import _take_devices
+from repro.netsim.rng import RngStreams
+from repro.netsim.simtime import DAY, from_date
+from repro.reporting import TextTable
+from repro.scan.campaign import SupplementalDataset
+from repro.scan.icmp import IcmpScanner
+from repro.scan.rdns import RdnsLookupEngine
+from repro.scan.reactive import ReactiveMonitor
+
+START, DAYS = dt.date(2021, 11, 1), 5
+SUFFIX = "corp.release-ablation.com"
+
+
+def run_variant(sends_release: bool):
+    rngs = RngStreams(7)
+    generator = PersonGenerator(rngs.stream("population", "rel"))
+    people = generator.make_population(40, id_prefix="rel")
+    devices = _take_devices(people)
+    for device in devices:
+        device.sends_release = sends_release
+        device.icmp_responds = True
+    network = Network(
+        "rel-net", NetworkType.ENTERPRISE, "10.0.0.0/16", SUFFIX, lease_time=3600, rngs=rngs
+    )
+    network.add_subnet(
+        Subnet(
+            "10.0.10.0/24",
+            SubnetRole.DYNAMIC_CLIENTS,
+            devices=devices,
+            policy=CarryOverPolicy(SUFFIX),
+        )
+    )
+    engine = SimulationEngine(start=from_date(START))
+    runtime = NetworkRuntime(network, engine)
+    runtime.start(START, START + dt.timedelta(days=DAYS - 1))
+    resolver = network.server  # direct authoritative path
+    from repro.dns.resolver import StubResolver
+
+    stub = StubResolver()
+    stub.delegate(resolver)
+    monitor = ReactiveMonitor(engine, IcmpScanner({"rel-net": runtime}), RdnsLookupEngine(stub))
+    end = from_date(START) + DAYS * DAY - 1
+    monitor.start({"rel-net": ["10.0.10.0/24"]}, end=end)
+    engine.run_until(end)
+    dataset = SupplementalDataset(
+        start=START,
+        end=START + dt.timedelta(days=DAYS - 1),
+        icmp=monitor.icmp_observations,
+        rdns=monitor.rdns_observations,
+        targets_by_network={"rel-net": ["10.0.10.0/24"]},
+        network_types={"rel-net": NetworkType.ENTERPRISE},
+    )
+    builder = GroupBuilder()
+    groups = builder.build(dataset)
+    return lingering_analysis(builder.usable(groups))
+
+
+def test_ablation_release_behaviour(benchmark, write_artifact):
+    def run_both():
+        return run_variant(True), run_variant(False)
+
+    releasing, silent = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["Variant", "Usable groups", "Median linger (min)", "Within 15 min %", "Within 60 min %"],
+        aligns=["<", ">", ">", ">", ">"],
+    )
+    for label, analysis in (("all clients release", releasing), ("no client releases", silent)):
+        table.add_row(
+            [
+                label,
+                analysis.count,
+                round(analysis.quantile(0.5), 1),
+                round(100 * analysis.fraction_within(15), 1),
+                round(100 * analysis.fraction_within(60), 1),
+            ]
+        )
+    write_artifact(
+        "ablation_release",
+        "Ablation: DHCP release behaviour vs PTR lingering",
+        table.render(),
+    )
+
+    assert releasing.count > 20 and silent.count > 20
+    # Releases make removals near-immediate (what remains is ICMP
+    # detection latency); silence defers them to lease expiry — the
+    # "possible defense mechanism" of Section 10.
+    assert releasing.quantile(0.5) + 15 <= silent.quantile(0.5)
+    assert releasing.fraction_within(60) > 0.9
+    assert silent.fraction_within(60) < 0.6
+    assert releasing.fraction_within(30) > silent.fraction_within(30) + 0.2

@@ -1,0 +1,51 @@
+"""Figure 1: fraction of dynamic /24s per announced covering prefix.
+
+Shape targets from Section 4.2: "generally speaking, only a small
+subset of the prefixes that make up a network exhibit dynamic
+behavior" — medians are low, and larger announced prefixes show smaller
+dynamic fractions.
+"""
+
+from repro.core import AnnouncedPrefixMap, dynamic_fraction_summary
+from repro.reporting import TextTable
+
+
+def test_figure1_dynamic_fraction_distribution(
+    benchmark, study, dynamicity_report, write_artifact
+):
+    prefix_map = study.announced_prefix_map()
+    dynamic_24s = dynamicity_report.dynamic_prefixes()
+
+    summaries = benchmark(dynamic_fraction_summary, prefix_map, dynamic_24s)
+
+    table = TextTable(
+        ["Announced size", "# prefixes", "Min %", "Median %", "Max %"],
+        aligns=["<", ">", ">", ">", ">"],
+    )
+    for summary in summaries:
+        table.add_row(
+            [
+                f"/{summary.prefixlen}",
+                summary.prefixes,
+                round(100 * summary.minimum, 3),
+                round(100 * summary.median, 3),
+                round(100 * summary.maximum, 3),
+            ]
+        )
+    write_artifact(
+        "figure1_dynamic_fraction",
+        "Figure 1: dynamic /24 fraction per announced prefix size",
+        table.render(),
+    )
+
+    assert summaries, "no announced prefix contains dynamic /24s"
+    by_size = {summary.prefixlen: summary for summary in summaries}
+    # Multiple announced sizes are represented.
+    assert len(by_size) >= 5
+    # Larger (shorter-prefix) announcements dilute their dynamic /24s.
+    small_sizes = [s for s in by_size.values() if s.prefixlen <= 12]
+    large_sizes = [s for s in by_size.values() if s.prefixlen >= 20]
+    if small_sizes and large_sizes:
+        assert max(s.median for s in small_sizes) <= min(s.median for s in large_sizes)
+    # Dynamic space is a small subset of announced space overall.
+    assert all(summary.median <= 0.5 for summary in summaries if summary.prefixlen <= 16)

@@ -1,0 +1,53 @@
+"""Figure 3: device terms co-appearing with given names.
+
+Shape targets from Section 5.2: terms such as iphone, ipad, android and
+galaxy frequently co-appear with given names — "a strong indication
+that DHCP clients on a variety of mobile devices send the name of the
+device to the DHCP server" — with laptop/desktop terms present too.
+"""
+
+from repro.datasets import DEVICE_TERMS
+from repro.reporting import TextTable
+
+
+def test_figure3_device_terms(benchmark, study, leak_report, write_artifact):
+    report = leak_report
+
+    def totals():
+        all_total = sum(report.all_device_term_counts.get(term, 0) for term in DEVICE_TERMS)
+        filtered_total = sum(
+            report.filtered_device_term_counts.get(term, 0) for term in DEVICE_TERMS
+        )
+        return all_total, filtered_total
+
+    all_total, filtered_total = benchmark(totals)
+
+    table = TextTable(["Keyword", "All matches", "Filtered matches"], aligns=["<", ">", ">"])
+    table.add_row(["total", all_total, filtered_total])
+    for term in DEVICE_TERMS:
+        table.add_row(
+            [
+                term,
+                report.all_device_term_counts.get(term, 0),
+                report.filtered_device_term_counts.get(term, 0),
+            ]
+        )
+    write_artifact(
+        "figure3_device_terms",
+        "Figure 3: device terms in hostnames alongside given names",
+        table.render(),
+    )
+
+    assert all_total > 0 and filtered_total > 0
+    # Phone-family terms are the strongest signal.
+    phone_terms = ["iphone", "android", "galaxy", "phone"]
+    phone_total = sum(report.filtered_device_term_counts.get(term, 0) for term in phone_terms)
+    assert phone_total > 0
+    assert report.filtered_device_term_counts.get("iphone", 0) > 0
+    # Laptop/desktop-class terms appear as well.
+    assert any(
+        report.filtered_device_term_counts.get(term, 0) > 0
+        for term in ("laptop", "mbp", "dell", "desktop", "macbook", "lenovo", "air")
+    )
+    for term in DEVICE_TERMS:
+        assert report.filtered_device_term_counts.get(term, 0) <= report.all_device_term_counts.get(term, 0)

@@ -1,0 +1,51 @@
+"""Figure 4: type breakdown of the identified networks.
+
+Paper values: 61.9% academic, 15.2% ISP, 11.2% other, 9% enterprise,
+3% government over 197 networks.  Shape targets: academic networks are
+the clear majority, ISPs second, with enterprise/other present and
+government a small sliver.
+"""
+
+from repro.core import NetworkTypeClassifier
+from repro.netsim.network import NetworkType
+from repro.reporting import TextTable
+
+
+def test_figure4_network_type_breakdown(benchmark, leak_report, write_artifact):
+    classifier = NetworkTypeClassifier()
+    breakdown = benchmark(classifier.breakdown_percent, leak_report.identified)
+
+    table = TextTable(["Type", "Share %"], aligns=["<", ">"])
+    order = [
+        NetworkType.ACADEMIC,
+        NetworkType.ISP,
+        NetworkType.OTHER,
+        NetworkType.ENTERPRISE,
+        NetworkType.GOVERNMENT,
+    ]
+    for net_type in order:
+        table.add_row([net_type.value, round(breakdown[net_type], 1)])
+    write_artifact(
+        "figure4_network_types",
+        f"Figure 4: type breakdown of the {len(leak_report.identified)} identified networks",
+        table.render(),
+    )
+
+    assert len(leak_report.identified) >= 20
+    # Academic networks dominate (paper: 61.9%).
+    assert breakdown[NetworkType.ACADEMIC] > 45
+    assert breakdown[NetworkType.ACADEMIC] == max(breakdown.values())
+    # ISPs are the second-largest class (paper: 15.2%).
+    non_academic = {k: v for k, v in breakdown.items() if k is not NetworkType.ACADEMIC}
+    assert breakdown[NetworkType.ISP] == max(non_academic.values())
+    # Enterprise, government and other all appear.
+    assert breakdown[NetworkType.ENTERPRISE] > 0
+    assert breakdown[NetworkType.GOVERNMENT] > 0
+    assert breakdown[NetworkType.OTHER] > 0
+    assert sum(breakdown.values()) == pytest_approx_100(breakdown)
+
+
+def pytest_approx_100(breakdown):
+    total = sum(breakdown.values())
+    assert abs(total - 100.0) < 1e-6
+    return total

@@ -1,0 +1,40 @@
+"""Figure 6: DNS errors observed during the supplemental measurement.
+
+Shape targets from Section 6.2: "the number of errors is low relatively
+to the number of queries performed", with NXDOMAIN the nuanced
+non-error (often the removal signal itself), and name-server failures
+and timeouts rare.
+"""
+
+from repro.reporting import TextTable
+
+
+def test_figure6_dns_errors(benchmark, supplemental, write_artifact):
+    rows = benchmark(supplemental.error_rows)
+
+    table = TextTable(
+        ["Day", "Total lookups", "NXDOMAIN", "Nameserver failure", "Timeout"],
+        aligns=["<", ">", ">", ">", ">"],
+    )
+    for day, total, nxdomain, servfail, timeout in rows:
+        table.add_row([str(day), total, nxdomain, servfail, timeout])
+    write_artifact(
+        "figure6_dns_errors",
+        "Figure 6: per-day DNS lookup outcomes during supplemental measurement",
+        table.render(),
+    )
+
+    assert len(rows) >= 40  # one row per measured day
+    totals = sum(row[1] for row in rows)
+    nxdomains = sum(row[2] for row in rows)
+    servfails = sum(row[3] for row in rows)
+    timeouts = sum(row[4] for row in rows)
+    assert totals > 0
+    # Hard errors are rare relative to query volume.
+    assert (servfails + timeouts) / totals < 0.05
+    # NXDOMAIN occurs routinely (it doubles as the removal signal) but
+    # stays a minority of responses.
+    assert 0 < nxdomains / totals < 0.6
+    benchmark.extra_info.update(
+        lookups=totals, nxdomain=nxdomains, servfail=servfails, timeout=timeouts
+    )

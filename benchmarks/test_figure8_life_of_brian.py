@@ -1,0 +1,99 @@
+"""Figure 8: six weeks in the Life of Brian(s).
+
+Shape targets from Section 7.1: five Brian-named device hostnames on
+Academic-A; weekday-regular patterns for the office devices
+(brians-phone, brians-mbp — the latter "a couple of hours around noon,
+every day"); all devices absent over the Thanksgiving weekend; and
+brians-galaxy-note9 first appearing "in the afternoon on Cyber Monday".
+"""
+
+import datetime as dt
+
+from repro.core import DeviceTracker
+from repro.netsim.calendar import cyber_monday, thanksgiving
+from repro.netsim.personas import BRIAN_HOSTNAME_LABELS
+from repro.netsim.simtime import date_of, hour_of_day
+
+
+def render_matrix(matrix, start):
+    lines = [f"Weeks starting {start} (# = device observed that day)"]
+    for label in BRIAN_HOSTNAME_LABELS:
+        days = matrix.get(label, [])
+        cells = "".join("#" if present else "." for present in days)
+        lines.append(f"{label:22s} {cells}")
+    return "\n".join(lines)
+
+
+def test_figure8_life_of_brian(benchmark, supplemental, write_artifact):
+    tracker = DeviceTracker(supplemental.rdns)
+    start = supplemental.start
+    days = (supplemental.end - supplemental.start).days + 1
+
+    matrix = benchmark(
+        tracker.presence_matrix,
+        "brian",
+        start,
+        days,
+        network="Academic-A",
+        labels=BRIAN_HOSTNAME_LABELS,
+    )
+
+    write_artifact(
+        "figure8_life_of_brian",
+        "Figure 8: six weeks in the Life of Brian(s) on Academic-A",
+        render_matrix(matrix, start),
+    )
+
+    # All five tracked hostnames were observed.
+    for label in BRIAN_HOSTNAME_LABELS:
+        assert any(matrix[label]), f"{label} never observed"
+
+    def index_of(day):
+        return (day - start).days
+
+    # Thanksgiving (Thursday) through Sunday: everyone is gone.  On the
+    # Thursday itself, records of Wednesday-evening silent leavers may
+    # smear past midnight until their lease expires, so that day is
+    # checked from 06:00 onward (the same boundary effect a real
+    # measurement would see).
+    holiday = thanksgiving(2021)
+    devices = tracker.track("brian", network="Academic-A")
+    for label in BRIAN_HOSTNAME_LABELS:
+        for at, _ in devices[label].sightings:
+            day = date_of(at)
+            if holiday <= day <= holiday + dt.timedelta(days=3):
+                assert day == holiday and hour_of_day(at) < 6, (
+                    f"{label} observed at {day} hour {hour_of_day(at)}"
+                )
+
+    # The Galaxy Note 9 first appears on Cyber Monday, in the afternoon.
+    monday = cyber_monday(2021)
+    note9 = matrix["brians-galaxy-note9"]
+    assert not any(note9[: index_of(monday)])
+    assert note9[index_of(monday)]
+    appearances = dict(tracker.new_device_appearances("brian", network="Academic-A"))
+    first_seen = appearances["brians-galaxy-note9"]
+    assert date_of(first_seen) == monday
+    assert hour_of_day(first_seen) >= 12
+
+    # Office devices follow a weekday pattern: present most weekdays,
+    # absent on weekends.
+    for label in ("brians-phone", "brians-mbp"):
+        weekdays = [
+            matrix[label][offset]
+            for offset in range(days)
+            if (start + dt.timedelta(days=offset)).weekday() < 5
+            and not thanksgiving(2021) <= start + dt.timedelta(days=offset) <= thanksgiving(2021) + dt.timedelta(days=3)
+        ]
+        weekends = [
+            matrix[label][offset]
+            for offset in range(days)
+            if (start + dt.timedelta(days=offset)).weekday() >= 5
+        ]
+        assert sum(weekdays) / len(weekdays) > 0.8
+        assert sum(weekends) == 0
+
+    # The mbp's sessions cluster around noon (Section 7.1's pattern).
+    devices = tracker.track("brian", network="Academic-A")
+    mbp_hours = [hour_of_day(at) for at, _ in devices["brians-mbp"].sightings]
+    assert sum(1 for hour in mbp_hours if 10 <= hour <= 15) / len(mbp_hours) > 0.9

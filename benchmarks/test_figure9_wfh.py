@@ -1,0 +1,68 @@
+"""Figure 9: longitudinal rDNS presence through the COVID-19 pandemic.
+
+Shape targets from Section 7.2: Academic-A's entries drop sharply when
+moderate/high campus risk is reported and rebound after low-risk
+reports; Academic-B dips in the first lockdown and returns to
+pre-pandemic levels by September 2021; Enterprise-B and Enterprise-C
+show significant decreases in March/April 2021, Enterprise-B with a
+partial recovery around May 2021.
+"""
+
+import datetime as dt
+
+from repro.core import relative_daily_presence
+from repro.reporting import render_time_series
+
+CASE_NETWORKS = ["Academic-A", "Academic-B", "Academic-C", "Enterprise-B", "Enterprise-C"]
+
+
+def weekly_mean(presence, start):
+    values = [presence.get(start + dt.timedelta(days=offset)) for offset in range(7)]
+    values = [value for value in values if value is not None]
+    return sum(values) / len(values)
+
+
+def test_figure9_work_from_home(benchmark, world, openintel_series, write_artifact):
+    def compute():
+        return {
+            name: relative_daily_presence(
+                openintel_series, [str(world.internet.network(name).prefix)]
+            )
+            for name in CASE_NETWORKS
+        }
+
+    presence = benchmark(compute)
+
+    write_artifact(
+        "figure9_wfh",
+        "Figure 9: rDNS entry presence relative to each network's maximum",
+        render_time_series(presence, samples=30),
+    )
+
+    # Academic-A: high-risk reporting periods suppress presence.
+    academic_a = presence["Academic-A"]
+    pre_pandemic = weekly_mean(academic_a, dt.date(2020, 2, 17))
+    lockdown = weekly_mean(academic_a, dt.date(2020, 4, 13))
+    recovered = weekly_mean(academic_a, dt.date(2021, 10, 4))
+    assert lockdown < pre_pandemic * 0.7
+    assert recovered > lockdown * 1.4
+
+    # Academic-B: first-lockdown dip, back to ~pre-pandemic by fall 2021.
+    academic_b = presence["Academic-B"]
+    b_pre = weekly_mean(academic_b, dt.date(2020, 2, 17))
+    b_lockdown = weekly_mean(academic_b, dt.date(2020, 4, 13))
+    b_fall21 = weekly_mean(academic_b, dt.date(2021, 10, 4))
+    assert b_lockdown < b_pre * 0.8
+    assert b_fall21 > b_pre * 0.85
+
+    # Enterprises: the March/April-2021 measures bite hard...
+    for name in ("Enterprise-B", "Enterprise-C"):
+        series = presence[name]
+        before = weekly_mean(series, dt.date(2021, 2, 1))
+        during = weekly_mean(series, dt.date(2021, 3, 15))
+        assert during < before * 0.7, name
+    # ...with Enterprise-B partially recovering around May 2021.
+    enterprise_b = presence["Enterprise-B"]
+    assert weekly_mean(enterprise_b, dt.date(2021, 5, 24)) > weekly_mean(
+        enterprise_b, dt.date(2021, 3, 15)
+    )

@@ -1,0 +1,30 @@
+"""Table 2: the reactive measurement back-off schedule.
+
+This is configuration rather than a result, but the harness verifies
+the implemented schedule is exactly the paper's: 12x5min, 6x10min,
+3x20min, 2x30min, then hourly until the client goes offline.
+"""
+
+from repro.netsim.simtime import HOUR, MINUTE
+from repro.reporting import TextTable
+from repro.scan.reactive import TABLE2_SCHEDULE
+
+
+def test_table2_backoff_schedule(benchmark, write_artifact):
+    intervals = benchmark(lambda: list(TABLE2_SCHEDULE.intervals(max_tail=1)))
+
+    table = TextTable(["Phase", "Probes", "Interval"], aligns=["<", ">", ">"])
+    for index, (count, interval) in enumerate(TABLE2_SCHEDULE.steps, start=1):
+        table.add_row([f"hour {index}", count, f"{interval // MINUTE} min"])
+    table.add_row(["until offline", "-", f"{TABLE2_SCHEDULE.tail_interval // MINUTE} min"])
+    write_artifact("table2_backoff", "Table 2: reactive measurement back-off schedule", table.render())
+
+    assert intervals[:12] == [5 * MINUTE] * 12
+    assert intervals[12:18] == [10 * MINUTE] * 6
+    assert intervals[18:21] == [20 * MINUTE] * 3
+    assert intervals[21:23] == [30 * MINUTE] * 2
+    assert intervals[23] == 60 * MINUTE
+    # Each fixed phase spans exactly one hour; four hours total.
+    assert TABLE2_SCHEDULE.total_scheduled_duration() == 4 * HOUR
+    for count, interval in TABLE2_SCHEDULE.steps:
+        assert count * interval == HOUR

@@ -1,0 +1,40 @@
+"""Table 4: the nine supplemental networks and their ICMP visibility.
+
+Paper values: Academic-A 48.0%, Academic-B two hosts (0.0%),
+Academic-C 33.0%, Enterprise-A 58.7%, Enterprise-B and Enterprise-C
+0.0% (ping-blocking), ISP-A 34.9%, ISP-B 0.3%, ISP-C 1.7%.  Shape
+targets: the ordering and the zeros.
+"""
+
+from repro.reporting import TextTable
+
+
+def test_table4_network_visibility(benchmark, supplemental, write_artifact):
+    rows = benchmark(supplemental.table4_rows)
+
+    table = TextTable(
+        ["Network", "Type", "Targeted space", "Addresses observed", "Percent observed"],
+        aligns=["<", "<", "<", ">", ">"],
+    )
+    for name, net_type, targets, observed, percent in rows:
+        table.add_row([name, net_type, targets, observed, round(percent, 1)])
+    write_artifact("table4_networks", "Table 4: supplemental networks and ICMP responsiveness", table.render())
+
+    by_name = {row[0]: row for row in rows}
+    assert len(rows) == 9
+    # Ping-blocking enterprises are invisible to ICMP.
+    assert by_name["Enterprise-B"][3] == 0
+    assert by_name["Enterprise-C"][3] == 0
+    # Academic-B shows exactly the two allow-listed appliances.
+    assert by_name["Academic-B"][3] == 2
+    # Open academic and enterprise networks are broadly visible...
+    assert by_name["Academic-A"][4] > 20
+    assert by_name["Academic-C"][4] > 20
+    assert by_name["Enterprise-A"][4] > 20
+    # ...while CPE-heavy ISPs respond poorly (ISP-B/C under 2%).
+    assert by_name["ISP-A"][4] > 10
+    assert by_name["ISP-B"][4] < 2
+    assert by_name["ISP-C"][4] < 2
+    # Orderings from the paper's table.
+    assert by_name["Enterprise-A"][4] > by_name["Academic-C"][4]
+    assert by_name["Academic-A"][4] > by_name["ISP-A"][4]

@@ -1,0 +1,34 @@
+"""Table 5: the activity-group funnel.
+
+Paper values: 6,297,080 groups, of which 9.3% have successful
+responses; of those 99.9% show the PTR reverted; of those 72.1% have
+reliable timing alignment, leaving 419,453 usable groups.  Shape
+targets: a strictly narrowing funnel, a high reverted share among
+successful groups, and roughly three quarters surviving the
+reliability filter (the paper's "about 1 out of 4" loss).
+"""
+
+from repro.reporting import TextTable
+
+
+def test_table5_group_funnel(benchmark, supplemental, group_builder, groups, write_artifact):
+    funnel = benchmark(group_builder.funnel, groups)
+
+    table = TextTable(["Category", "# groups", "Fraction of parent %"], aligns=["<", ">", ">"])
+    for label, count, fraction in funnel.rows():
+        table.add_row([label, count, round(fraction, 1)])
+    write_artifact("table5_groups", "Table 5: supplemental measurement group funnel", table.render())
+
+    assert funnel.all_groups > 1000
+    assert funnel.all_groups >= funnel.successful >= funnel.reverted >= funnel.reliable > 0
+    # Among successful groups, reversion is the norm (paper: 99.9%).
+    assert funnel.reverted / funnel.successful > 0.8
+    # Roughly a quarter of reverted groups fail timing alignment
+    # (paper: 72.1% survive).
+    reliable_share = funnel.reliable / funnel.reverted
+    assert 0.55 < reliable_share < 0.95
+    benchmark.extra_info.update(
+        all_groups=funnel.all_groups,
+        usable_groups=funnel.reliable,
+        reliable_share=round(reliable_share, 3),
+    )

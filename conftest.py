@@ -1,0 +1,12 @@
+"""Ensure the in-tree package is importable even without installation.
+
+Offline environments may lack the ``wheel`` package that ``pip install -e .``
+needs; ``python setup.py develop`` or this path shim both work.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Mitigation audit: what does each DNS-update policy leak? (Section 8)
+
+Builds four copies of the same office network, one per
+:mod:`repro.ipam.policy` implementation, runs the paper's own analysis
+pipeline against each, and reports what an outside observer learns:
+
+* carry-over       — identities AND dynamics leak (the status quo);
+* hashed           — identities gone, dynamics still observable;
+* static-template  — records exist but never change: nothing to see;
+* no-update        — reverse DNS is silent;
+* carry-over + RFC 7844 clients — the client-side fix: anonymity
+  profiles strip the Host Name before it ever reaches the server.
+
+Run:  python examples/mitigation_audit.py
+"""
+
+import datetime as dt
+
+from repro.core import DynamicityAnalyzer, DynamicityThresholds, GivenNameMatcher
+from repro.dhcp import ANONYMITY_PROFILE
+from repro.ipam import CarryOverPolicy, HashedPolicy, NoUpdatePolicy, StaticTemplatePolicy
+from repro.netsim.device import DeviceNaming
+from repro.netsim.network import Network, NetworkType, Subnet, SubnetRole
+from repro.netsim.person import PersonGenerator
+from repro.netsim.rng import RngStreams
+
+SUFFIX = "corp.audit.example"
+WINDOW = (dt.date(2021, 1, 1), dt.date(2021, 3, 31))
+NOON = 12 * 3600
+
+
+def build_network(policy, *, anonymize_clients=False, seed=5):
+    rngs = RngStreams(seed)
+    generator = PersonGenerator(rngs.stream("population", "audit"))
+    people = generator.make_population(60, id_prefix="aud")
+    devices = [device for person in people for device in person.devices]
+    if anonymize_clients:
+        # RFC 7844: clients withhold identifying options entirely.
+        for device in devices:
+            device.naming = DeviceNaming.NONE
+    network = Network("audit", NetworkType.ENTERPRISE, "10.0.0.0/16", SUFFIX, rngs=rngs)
+    network.add_subnet(
+        Subnet("10.0.10.0/24", SubnetRole.DYNAMIC_CLIENTS, devices=devices, policy=policy)
+    )
+    return network
+
+
+def audit(network):
+    """Run the outside observer's pipeline over one quarter."""
+    matcher = GivenNameMatcher()
+    counts, names, sample = {}, set(), []
+    day = WINDOW[0]
+    while day <= WINDOW[1]:
+        counts[day] = network.counts_by_slash24(day, at_offset=NOON)
+        if day.weekday() == 2:
+            for _, hostname in network.records_on(day, at_offset=NOON):
+                names.update(matcher.match(hostname))
+                if len(sample) < 3:
+                    sample.append(hostname)
+        day += dt.timedelta(days=1)
+    report = DynamicityAnalyzer(DynamicityThresholds()).analyze(counts)
+    peak = max(sum(c.values()) for c in counts.values())
+    return {
+        "dynamics observable": "yes" if report.dynamic_count else "no",
+        "unique names leaked": len(names),
+        "peak records": peak,
+        "sample": sample,
+    }
+
+
+def main() -> None:
+    variants = [
+        ("carry-over (status quo)", build_network(CarryOverPolicy(SUFFIX))),
+        ("hashed (server-side fix)", build_network(HashedPolicy(SUFFIX, key=b"secret"))),
+        ("static-template", build_network(StaticTemplatePolicy(SUFFIX))),
+        ("no-update", build_network(NoUpdatePolicy(SUFFIX))),
+        (
+            "carry-over + RFC 7844 clients",
+            build_network(CarryOverPolicy(SUFFIX), anonymize_clients=True),
+        ),
+    ]
+    print(f"Auditing {len(variants)} deployments over {WINDOW[0]} .. {WINDOW[1]}\n")
+    print(f"{'deployment':32s} {'dynamics':>9s} {'names':>6s} {'records':>8s}")
+    details = []
+    for label, network in variants:
+        result = audit(network)
+        print(
+            f"{label:32s} {result['dynamics observable']:>9s} "
+            f"{result['unique names leaked']:>6d} {result['peak records']:>8d}"
+        )
+        details.append((label, result["sample"]))
+
+    print("\nSample published hostnames per deployment:")
+    for label, sample in details:
+        rendered = ", ".join(sample) if sample else "(none)"
+        print(f"  {label:32s} {rendered}")
+
+    print("\nTakeaways (matching the paper's discussion):")
+    print(" * hashing removes the content leak but record churn still")
+    print("   exposes network dynamics;")
+    print(" * fixed-form records or decoupling DHCP from DNS remove both;")
+    print(" * RFC 7844 clients stop the name leak even on leaky servers —")
+    print("   but the operator cannot rely on every client doing so.")
+    assert ANONYMITY_PROFILE.strip_host_name  # the profile used above
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: the privacy leak in one page.
+
+Builds a single campus network whose IPAM carries DHCP Host Names into
+the global reverse DNS, lets one device join and leave, and shows what
+*anyone on the Internet* can observe via plain PTR lookups — no access
+to the network required.
+
+Run:  python examples/quickstart.py
+"""
+
+import datetime as dt
+
+from repro.dhcp import AddressPool, DhcpClient, DhcpServer
+from repro.dns import ReverseZone, StubResolver, AuthoritativeServer
+from repro.ipam import CarryOverPolicy, IpamSystem
+
+
+def main() -> None:
+    # --- the network operator's side -----------------------------------
+    zone = ReverseZone("192.0.2.0/24")
+    nameserver = AuthoritativeServer("ns1.campus.example.edu")
+    nameserver.add_zone(zone)
+    dhcp = DhcpServer(AddressPool("192.0.2.0/24"), lease_time=3600)
+    # The fateful automation: lease events drive global DNS updates.
+    IpamSystem(zone, CarryOverPolicy("campus.example.edu")).attach(dhcp)
+
+    # --- Brian's phone joins the campus Wi-Fi ---------------------------
+    # sends_release=False: phones go out of range without saying goodbye.
+    phone = DhcpClient("aa:bb:cc:dd:ee:ff", host_name="Brian's iPhone", sends_release=False)
+    address = phone.join(dhcp, now=9 * 3600)
+    print(f"09:00  Brian's iPhone gets a lease on {address}")
+
+    # --- the outside observer's side ------------------------------------
+    resolver = StubResolver()
+    resolver.delegate(nameserver)
+    result = resolver.resolve_ptr(address)
+    print(f"09:00  PTR {address} -> {result.hostname}   (queried from anywhere)")
+
+    # The phone renews at T1, keeping the lease alive while present.
+    phone.renew(dhcp, now=int(10.5 * 3600))
+
+    # Brian walks out of range (no DHCP release is sent).
+    phone.leave(dhcp, now=11 * 3600)
+    print("11:00  Brian leaves (silently; the lease lives on)")
+    result = resolver.resolve_ptr(address)
+    print(f"11:05  PTR {address} -> {result.hostname}   (record lingers)")
+
+    # The lease expires; the IPAM system removes the record.
+    dhcp.expire_leases(now=int(12.5 * 3600))
+    result = resolver.resolve_ptr(address)
+    print(f"12:30  PTR {address} -> {result.status.value.upper()}   (Brian is observably gone)")
+
+    print()
+    print("Everything above is visible to the whole Internet: device make,")
+    print("owner's given name, and join/leave times — the paper's point.")
+
+
+if __name__ == "__main__":
+    main()

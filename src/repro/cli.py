@@ -1,0 +1,249 @@
+"""Command-line interface.
+
+``rdns-privacy`` exposes the reproduction's main workflows:
+
+* ``study``    — run the snapshot-based pipeline (Sections 4-5): the
+  dynamicity heuristic, leak identification and the type breakdown;
+* ``campaign`` — run the supplemental measurement (Section 6) and
+  print Tables 3-5, optionally writing raw observations to CSV;
+* ``track``    — follow a given name's devices (Section 7.1);
+* ``heist``    — recommend the quietest hour (Section 7.3);
+* ``audit``    — grade each network's rDNS exposure (Section 8);
+* ``snapshot`` — dump one day's PTR records, OpenINTEL-style.
+
+Every command takes ``--seed`` so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as dt
+import sys
+from typing import List, Optional
+
+from repro.core import DeviceTracker, HeistPlanner, audit_by_network
+from repro.core.pipeline import ReproductionStudy, StudyConfig
+from repro.netsim.internet import WorldScale, build_world
+from repro.netsim.spec import build_world_from_file
+from repro.netsim.network import NetworkType
+from repro.netsim.personas import BRIAN_HOSTNAME_LABELS
+from repro.reporting import TextTable
+from repro.scan import SupplementalCampaign, write_icmp_csv, write_rdns_csv
+
+
+def _parse_date(text: str) -> dt.date:
+    try:
+        return dt.date.fromisoformat(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid date {text!r} (want YYYY-MM-DD)") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rdns-privacy",
+        description="Reproduction toolkit for 'Saving Brian's Privacy' (IMC 2022).",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="world seed (default 42)")
+    parser.add_argument(
+        "--quick", action="store_true", help="use the small test-scale world and short windows"
+    )
+    parser.add_argument(
+        "--spec", help="build the world from a JSON spec file instead of the built-in one"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("study", help="dynamicity + leak identification (Sections 4-5)")
+
+    campaign = commands.add_parser("campaign", help="supplemental measurement (Section 6)")
+    campaign.add_argument("--start", type=_parse_date, default=dt.date(2021, 11, 1))
+    campaign.add_argument("--end", type=_parse_date, default=dt.date(2021, 11, 7))
+    campaign.add_argument("--networks", nargs="*", default=None, help="subset of Table-4 networks")
+    campaign.add_argument("--icmp-csv", help="write raw ICMP observations here")
+    campaign.add_argument("--rdns-csv", help="write raw rDNS observations here")
+    campaign.add_argument("--save-dir", help="persist the whole dataset to this directory")
+
+    track = commands.add_parser("track", help="follow a given name's devices (Section 7.1)")
+    track.add_argument("name", help="given name to follow, e.g. brian")
+    track.add_argument("--network", default="Academic-A")
+    track.add_argument("--start", type=_parse_date, default=dt.date(2021, 11, 1))
+    track.add_argument("--end", type=_parse_date, default=dt.date(2021, 11, 14))
+
+    heist = commands.add_parser("heist", help="find the quietest hour (Section 7.3)")
+    heist.add_argument("--network", default="Academic-A")
+    heist.add_argument("--start", type=_parse_date, default=dt.date(2021, 11, 1))
+    heist.add_argument("--end", type=_parse_date, default=dt.date(2021, 11, 7))
+    heist.add_argument("--source", choices=("rdns", "icmp"), default="rdns")
+
+    audit = commands.add_parser(
+        "audit", help="score each network's rDNS exposure (Section 8 mitigation aid)"
+    )
+    audit.add_argument("--start", type=_parse_date, default=dt.date(2021, 11, 1))
+    audit.add_argument("--end", type=_parse_date, default=dt.date(2021, 11, 3))
+    audit.add_argument("--networks", nargs="*", default=None)
+
+    snapshot = commands.add_parser("snapshot", help="dump one day's PTR records")
+    snapshot.add_argument("--date", type=_parse_date, default=dt.date(2021, 3, 1))
+    snapshot.add_argument("--network", default=None, help="restrict to one network")
+    snapshot.add_argument("--limit", type=int, default=50)
+
+    return parser
+
+
+def _world(args):
+    if getattr(args, "spec", None):
+        return build_world_from_file(args.spec)
+    scale = WorldScale.small() if args.quick else None
+    return build_world(seed=args.seed, scale=scale)
+
+
+def cmd_study(args, out) -> int:
+    config = StudyConfig.quick(args.seed) if args.quick else StudyConfig(seed=args.seed)
+    study = ReproductionStudy(config)
+    report = study.dynamicity()
+    print(
+        f"Dynamicity ({config.dynamicity_start} .. {config.dynamicity_end}): "
+        f"{report.dynamic_count} of {report.total_observed} observed /24s are dynamic",
+        file=out,
+    )
+    leaks = study.leaks()
+    print(f"\nIdentified identity-leaking networks: {len(leaks.identified)}", file=out)
+    table = TextTable(["Suffix", "Records", "Unique names", "Ratio"], aligns=["<", ">", ">", ">"])
+    for suffix in leaks.identified:
+        stats = leaks.stats_for(suffix)
+        table.add_row([suffix, stats.records, stats.unique_name_count, round(stats.ratio, 2)])
+    print(table.render(), file=out)
+    breakdown = study.type_breakdown()
+    print("\nType breakdown (Figure 4):", file=out)
+    for net_type in NetworkType:
+        print(f"  {net_type.value:<12s} {breakdown[net_type]:5.1f}%", file=out)
+    return 0
+
+
+def cmd_campaign(args, out) -> int:
+    world = _world(args)
+    campaign = SupplementalCampaign(world, networks=args.networks)
+    dataset = campaign.run(args.start, args.end)
+    icmp_total, icmp_unique = dataset.icmp_stats()
+    rdns_total, rdns_unique, rdns_ptrs = dataset.rdns_stats()
+    print(
+        f"Campaign {args.start}..{args.end}: {icmp_total:,} ICMP responses "
+        f"({icmp_unique} addresses); {rdns_total:,} rDNS lookups "
+        f"({rdns_unique} addresses, {rdns_ptrs} unique PTRs)",
+        file=out,
+    )
+    table = TextTable(["Network", "Type", "Observed", "Percent"], aligns=["<", "<", ">", ">"])
+    for name, net_type, _, observed, percent in dataset.table4_rows():
+        table.add_row([name, net_type, observed, round(percent, 1)])
+    print(table.render(), file=out)
+    if args.icmp_csv:
+        rows = write_icmp_csv(args.icmp_csv, dataset.icmp)
+        print(f"wrote {rows:,} ICMP rows to {args.icmp_csv}", file=out)
+    if args.rdns_csv:
+        rows = write_rdns_csv(args.rdns_csv, dataset.rdns)
+        print(f"wrote {rows:,} rDNS rows to {args.rdns_csv}", file=out)
+    if args.save_dir:
+        from repro.scan.persistence import save_dataset
+
+        path = save_dataset(dataset, args.save_dir)
+        print(f"saved dataset to {path}", file=out)
+    return 0
+
+
+def cmd_track(args, out) -> int:
+    world = _world(args)
+    campaign = SupplementalCampaign(world, networks=[args.network])
+    dataset = campaign.run(args.start, args.end)
+    tracker = DeviceTracker(dataset.rdns)
+    days = (args.end - args.start).days + 1
+    labels = BRIAN_HOSTNAME_LABELS if args.name.lower() == "brian" and args.network == "Academic-A" else None
+    matrix = tracker.presence_matrix(args.name, args.start, days, network=args.network, labels=labels)
+    if not any(any(row) for row in matrix.values()):
+        print(f"no devices matching {args.name!r} observed on {args.network}", file=out)
+        return 1
+    print(f"Devices containing {args.name!r} on {args.network}, {args.start}..{args.end}:", file=out)
+    for label in sorted(matrix):
+        cells = "".join("#" if seen else "." for seen in matrix[label])
+        print(f"  {label:24s} {cells}", file=out)
+    return 0
+
+
+def cmd_heist(args, out) -> int:
+    world = _world(args)
+    campaign = SupplementalCampaign(world, networks=[args.network])
+    dataset = campaign.run(args.start, args.end)
+    planner = HeistPlanner(dataset, args.network)
+    plan = planner.plan(source=args.source, weekdays_only=True)
+    print(f"Quietest weekday hour on {args.network}: {plan.hour_of_day:02d}:00 "
+          f"(avg {plan.average_activity:.1f} active clients, by {args.source})", file=out)
+    peak = max(plan.activity_by_hour.values()) or 1.0
+    for hour in range(24):
+        value = plan.activity_by_hour.get(hour, 0.0)
+        bar = "#" * int(round(24 * value / peak))
+        print(f"  {hour:02d}:00 {value:7.1f} {bar}", file=out)
+    return 0
+
+
+def cmd_snapshot(args, out) -> int:
+    world = _world(args)
+    if args.network is not None:
+        records = world.internet.network(args.network).records_on(args.date, at_offset=12 * 3600)
+    else:
+        records = world.internet.records_on(args.date, at_offset=12 * 3600)
+    shown = 0
+    for address, hostname in records:
+        print(f"{address}\t{hostname}", file=out)
+        shown += 1
+        if shown >= args.limit:
+            print(f"... (truncated at {args.limit} records; raise --limit)", file=out)
+            break
+    if shown == 0:
+        print("(no records)", file=out)
+    return 0
+
+
+def cmd_audit(args, out) -> int:
+    world = _world(args)
+    campaign = SupplementalCampaign(world, networks=args.networks)
+    dataset = campaign.run(args.start, args.end)
+    reports = audit_by_network(dataset.rdns)
+    table = TextTable(
+        ["Network", "Grade", "Identity", "Dynamics", "Trackability", "Records"],
+        aligns=["<", "^", ">", ">", ">", ">"],
+    )
+    for network, report in reports.items():
+        table.add_row(
+            [
+                network,
+                report.grade(),
+                round(report.identity_score, 2),
+                round(report.dynamics_score, 2),
+                round(report.trackability_score, 2),
+                report.records_observed,
+            ]
+        )
+    print(table.render(), file=out)
+    worst = max(reports.values(), key=lambda r: r.overall, default=None)
+    if worst is not None and worst.named_hostnames:
+        print("\nSample identity-carrying hostnames:", file=out)
+        for hostname in worst.named_hostnames[:5]:
+            print(f"  {hostname}", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "study": cmd_study,
+    "audit": cmd_audit,
+    "campaign": cmd_campaign,
+    "track": cmd_track,
+    "heist": cmd_heist,
+    "snapshot": cmd_snapshot,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out or sys.stdout)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

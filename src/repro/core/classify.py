@@ -1,0 +1,80 @@
+"""Network-type classification (Section 5.2, Figure 4).
+
+The paper matches ``.edu`` / ``.ac`` / ``.gov`` suffixes by regular
+expression and manually inspects the rest for ISP and enterprise
+signals.  The keyword lists below stand in for that manual inspection;
+suffixes matching nothing become *other*, exactly as the paper's 11.2%
+unclassifiable share.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Dict, Iterable
+
+from repro.netsim.network import NetworkType
+
+_ACADEMIC_RE = re.compile(r"(\.edu$|\.edu\.|\.ac$|\.ac\.)")
+_GOVERNMENT_RE = re.compile(r"(\.gov$|\.gov\.)")
+
+_ACADEMIC_KEYWORDS = ("university", "uni", "college", "campus", "school", "institute")
+_ISP_KEYWORDS = (
+    "isp",
+    "dsl",
+    "cable",
+    "fiber",
+    "ftth",
+    "broadband",
+    "telecom",
+    "wireless",
+    "dyn",
+    "dynamic",
+    "pool",
+    "res",
+    "customer",
+    "client",
+)
+_ENTERPRISE_KEYWORDS = ("corp", "inc", "gmbh", "llc", "office", "hq", "group", "firm")
+
+
+class NetworkTypeClassifier:
+    """Infers a network type from its hostname suffix."""
+
+    def classify(self, suffix: str) -> NetworkType:
+        suffix = suffix.lower().strip(".")
+        if _ACADEMIC_RE.search("." + suffix):
+            return NetworkType.ACADEMIC
+        if _GOVERNMENT_RE.search("." + suffix):
+            return NetworkType.GOVERNMENT
+        words = set(re.findall(r"[a-z]+", suffix))
+        hyphen_parts = set()
+        for word in list(words):
+            hyphen_parts.update(word.split("-"))
+        words |= hyphen_parts
+        if words & set(_ACADEMIC_KEYWORDS):
+            return NetworkType.ACADEMIC
+        if words & set(_ISP_KEYWORDS) or self._looks_like_isp(suffix):
+            return NetworkType.ISP
+        if words & set(_ENTERPRISE_KEYWORDS) or suffix.endswith(".com"):
+            return NetworkType.ENTERPRISE
+        return NetworkType.OTHER
+
+    def _looks_like_isp(self, suffix: str) -> bool:
+        # Residential access networks conventionally live under .net.
+        return suffix.endswith(".net") and any(
+            keyword in suffix for keyword in ("net", "isp", "broadband", "telco")
+        ) and not suffix.endswith("example.net")
+
+    def breakdown(self, suffixes: Iterable[str]) -> Dict[NetworkType, int]:
+        """Type histogram over suffixes (the Figure 4 bar)."""
+        counts: Counter = Counter(self.classify(suffix) for suffix in suffixes)
+        return {net_type: counts.get(net_type, 0) for net_type in NetworkType}
+
+    def breakdown_percent(self, suffixes: Iterable[str]) -> Dict[NetworkType, float]:
+        suffixes = list(suffixes)
+        if not suffixes:
+            return {net_type: 0.0 for net_type in NetworkType}
+        counts = self.breakdown(suffixes)
+        total = sum(counts.values())
+        return {net_type: 100.0 * count / total for net_type, count in counts.items()}

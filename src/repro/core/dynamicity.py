@@ -1,0 +1,132 @@
+"""The dynamicity heuristic of Section 4.1.
+
+Three steps over a three-month window of daily /24 PTR counts:
+
+1. Discard /24 prefixes never exceeding ``min_daily_addresses`` (10)
+   addresses on any day; record the maximum for the rest.
+2. For each remaining /24, compute the day-by-day absolute difference
+   in address count, as a percentage of the recorded maximum.
+3. Label the /24 *dynamic* if the change percentage exceeds X (10%) on
+   at least Y (7) days.
+
+The paper validates these thresholds against its campus network and
+notes they deliberately produce a lower bound (strict thresholds, high
+confidence).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Union
+
+from repro.scan.snapshot import SnapshotSeries
+
+DailyCounts = Mapping[dt.date, Mapping[str, int]]
+
+
+@dataclass(frozen=True)
+class DynamicityThresholds:
+    """The X/Y/minimum-size knobs of the heuristic (paper defaults)."""
+
+    min_daily_addresses: int = 10
+    change_percent: float = 10.0  # X
+    min_change_days: int = 7      # Y
+
+    def __post_init__(self) -> None:
+        if self.min_daily_addresses < 1:
+            raise ValueError("min_daily_addresses must be at least 1")
+        if not 0 < self.change_percent <= 100:
+            raise ValueError("change_percent must be in (0, 100]")
+        if self.min_change_days < 1:
+            raise ValueError("min_change_days must be at least 1")
+
+
+@dataclass
+class PrefixDynamicity:
+    """Per-/24 evidence accumulated by the analyzer."""
+
+    prefix: str
+    max_daily: int
+    change_days: int
+    observed_days: int
+    is_dynamic: bool
+
+
+@dataclass
+class DynamicityReport:
+    """The outcome of one analysis window."""
+
+    thresholds: DynamicityThresholds
+    prefixes: Dict[str, PrefixDynamicity] = field(default_factory=dict)
+    #: /24s seen at all, including those dropped in step 1.
+    total_observed: int = 0
+
+    def dynamic_prefixes(self) -> List[str]:
+        return sorted(
+            prefix for prefix, info in self.prefixes.items() if info.is_dynamic
+        )
+
+    @property
+    def dynamic_count(self) -> int:
+        return sum(1 for info in self.prefixes.values() if info.is_dynamic)
+
+    def is_dynamic(self, prefix: str) -> bool:
+        info = self.prefixes.get(prefix)
+        return info.is_dynamic if info else False
+
+
+class DynamicityAnalyzer:
+    """Applies the three-step heuristic to a daily count series."""
+
+    def __init__(self, thresholds: DynamicityThresholds = DynamicityThresholds()):
+        self.thresholds = thresholds
+
+    def analyze(self, series: Union[SnapshotSeries, DailyCounts]) -> DynamicityReport:
+        """Run the heuristic over daily /24 counts.
+
+        Accepts a :class:`~repro.scan.snapshot.SnapshotSeries` or a
+        plain ``{date: {prefix: count}}`` mapping.  Days are processed
+        in date order; a /24 absent on a day counts as zero addresses
+        (its records disappeared entirely).
+        """
+        if isinstance(series, SnapshotSeries):
+            days = series.days
+            counts_for = series.counts_by_slash24
+        else:
+            days = sorted(series)
+            counts_for = lambda day: series[day]  # noqa: E731 - tiny adapter
+        if not days:
+            raise ValueError("the series holds no days")
+
+        daily: List[Mapping[str, int]] = [counts_for(day) for day in days]
+        all_prefixes = set()
+        for counts in daily:
+            all_prefixes.update(counts)
+
+        report = DynamicityReport(self.thresholds, total_observed=len(all_prefixes))
+        minimum = self.thresholds.min_daily_addresses
+        for prefix in all_prefixes:
+            history = [counts.get(prefix, 0) for counts in daily]
+            max_daily = max(history)
+            if max_daily <= minimum:
+                continue  # step 1: discard small prefixes
+            change_days = self._count_change_days(history, max_daily)
+            is_dynamic = change_days >= self.thresholds.min_change_days
+            report.prefixes[prefix] = PrefixDynamicity(
+                prefix=prefix,
+                max_daily=max_daily,
+                change_days=change_days,
+                observed_days=len(history),
+                is_dynamic=is_dynamic,
+            )
+        return report
+
+    def _count_change_days(self, history: List[int], max_daily: int) -> int:
+        threshold = self.thresholds.change_percent
+        change_days = 0
+        for yesterday, today in zip(history, history[1:]):
+            change_percent = 100.0 * abs(today - yesterday) / max_daily
+            if change_percent > threshold:
+                change_days += 1
+        return change_days

@@ -1,0 +1,241 @@
+"""Activity groups over supplemental measurement data (Section 6.1).
+
+Measurement data points are merged by IP address and five-minute
+truncated timestamp; runs of ICMP reachability become *groups* (one
+address, one activity period).  Each group is then classified down the
+funnel of Table 5:
+
+* **successful responses** — the group has usable rDNS lookups for
+  phase 1 (client joined: the PTR observed present) and phase 3
+  (client left: post-departure lookups that are clean NOERROR/NXDOMAIN
+  outcomes, no server failures or timeouts);
+* **PTR reverted** — the post-departure lookups show the record
+  removed (NXDOMAIN) or changed back (different hostname);
+* **reliable timing alignment** — the client's departure was bracketed
+  by closely spaced ICMP probes, so the last-seen time is sharp.  When
+  the back-off had already grown past the five-minute phase, departure
+  detection is sloppy; the paper filters these out (about 1 in 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.resolver import ResolutionStatus
+from repro.netsim.simtime import HOUR, MINUTE
+from repro.scan.campaign import SupplementalDataset
+from repro.scan.observations import RdnsObservation
+
+DEFAULT_GAP_THRESHOLD = 70 * MINUTE
+DEFAULT_POST_WINDOW = 26 * HOUR
+#: Departure is "sharp" when the bracketing ICMP samples sit at most
+#: this far apart.  The hourly sweep plus the reactive tail typically
+#: keeps spacing near 30 minutes; departures bracketed only by
+#: hour-spaced samples are the sloppy quarter the paper drops.
+DEFAULT_RELIABLE_GAP = 30 * MINUTE
+
+
+@dataclass
+class ActivityGroup:
+    """One client activity period at one address."""
+
+    group_id: int
+    address: object
+    network: str
+    icmp_times: List[int]
+    rdns: List[RdnsObservation] = field(default_factory=list)
+
+    @property
+    def start(self) -> int:
+        return self.icmp_times[0]
+
+    @property
+    def end(self) -> int:
+        """Timestamp of the last ICMP sample (client last seen)."""
+        return self.icmp_times[-1]
+
+    # -- phase-level views ---------------------------------------------------
+
+    def phase1_hostname(self) -> Optional[str]:
+        """The PTR value observed while the client was present."""
+        for observation in self.rdns:
+            if self.start - 5 * MINUTE <= observation.at <= self.end and observation.ok:
+                return observation.hostname
+        return None
+
+    def post_departure(self) -> List[RdnsObservation]:
+        return [obs for obs in self.rdns if obs.at > self.end]
+
+    # -- funnel classification ---------------------------------------------------
+
+    @property
+    def successful(self) -> bool:
+        hostname = self.phase1_hostname()
+        if hostname is None:
+            return False
+        post = self.post_departure()
+        if not post:
+            return False
+        for observation in post:
+            if observation.status in (ResolutionStatus.SERVFAIL, ResolutionStatus.TIMEOUT):
+                return False
+            if observation.status is ResolutionStatus.NXDOMAIN:
+                return True  # clean sequence up to the removal signal
+        return True
+
+    @property
+    def reverted(self) -> bool:
+        """The PTR was removed or changed after the client left."""
+        hostname = self.phase1_hostname()
+        if hostname is None:
+            return False
+        for observation in self.post_departure():
+            if observation.status is ResolutionStatus.NXDOMAIN:
+                return True
+            if observation.ok and observation.hostname != hostname:
+                return True
+        return False
+
+    def removal_time(self) -> Optional[int]:
+        """When the record was first observed gone (or changed)."""
+        hostname = self.phase1_hostname()
+        for observation in self.post_departure():
+            if observation.status is ResolutionStatus.NXDOMAIN:
+                return observation.at
+            if observation.ok and hostname is not None and observation.hostname != hostname:
+                return observation.at
+        return None
+
+    def icmp_sampling_gap_at_end(self, default: int = HOUR) -> int:
+        """Spacing of the ICMP samples bracketing the departure."""
+        if len(self.icmp_times) < 2:
+            return default
+        return self.icmp_times[-1] - self.icmp_times[-2]
+
+    def reliable(self, max_gap: int = DEFAULT_RELIABLE_GAP) -> bool:
+        return self.icmp_sampling_gap_at_end() <= max_gap
+
+    def lingering_seconds(self) -> Optional[int]:
+        """Seconds between last ICMP sample and observed PTR removal."""
+        removal = self.removal_time()
+        if removal is None:
+            return None
+        return removal - self.end
+
+
+@dataclass
+class GroupFunnel:
+    """The Table 5 breakdown."""
+
+    all_groups: int
+    successful: int
+    reverted: int
+    reliable: int
+
+    def rows(self) -> List[Tuple[str, int, float]]:
+        """(label, count, fraction-of-parent) rows, Table 5 layout."""
+
+        def fraction(part: int, whole: int) -> float:
+            return 100.0 * part / whole if whole else 0.0
+
+        return [
+            ("All groups", self.all_groups, 100.0),
+            ("Successful responses", self.successful, fraction(self.successful, self.all_groups)),
+            ("PTR reverted", self.reverted, fraction(self.reverted, self.successful)),
+            ("Reliable timing alignment", self.reliable, fraction(self.reliable, self.reverted)),
+        ]
+
+
+class GroupBuilder:
+    """Builds and classifies activity groups from a supplemental dataset."""
+
+    def __init__(
+        self,
+        *,
+        gap_threshold: int = DEFAULT_GAP_THRESHOLD,
+        post_window: int = DEFAULT_POST_WINDOW,
+        reliable_gap: int = DEFAULT_RELIABLE_GAP,
+    ):
+        if gap_threshold <= 0 or post_window <= 0:
+            raise ValueError("thresholds must be positive")
+        self.gap_threshold = gap_threshold
+        self.post_window = post_window
+        self.reliable_gap = reliable_gap
+
+    def build(self, dataset: SupplementalDataset) -> List[ActivityGroup]:
+        """Group the dataset's observations by address and activity run."""
+        icmp_by_address: Dict[object, List[int]] = {}
+        network_of: Dict[object, str] = {}
+        for observation in dataset.icmp:
+            icmp_by_address.setdefault(observation.address, []).append(observation.truncated_at)
+            network_of[observation.address] = observation.network
+        rdns_by_address: Dict[object, List[RdnsObservation]] = {}
+        for observation in dataset.rdns:
+            rdns_by_address.setdefault(observation.address, []).append(observation)
+
+        groups: List[ActivityGroup] = []
+        group_id = 0
+        for address in sorted(icmp_by_address, key=int):
+            times = sorted(set(icmp_by_address[address]))
+            lookups = sorted(rdns_by_address.get(address, []), key=lambda o: o.at)
+            for run in self._split_runs(times):
+                group = ActivityGroup(
+                    group_id=group_id,
+                    address=address,
+                    network=network_of[address],
+                    icmp_times=run,
+                )
+                group_id += 1
+                window_start = run[0] - 30 * MINUTE
+                window_end = run[-1] + self.post_window
+                group.rdns = [
+                    obs for obs in lookups if window_start <= obs.at <= window_end
+                ]
+                groups.append(group)
+        # rDNS windows of adjacent groups must not overlap: clamp each
+        # group's window at the next group's start.
+        self._clamp_windows(groups)
+        return groups
+
+    def _split_runs(self, times: List[int]) -> List[List[int]]:
+        runs: List[List[int]] = []
+        current: List[int] = []
+        for timestamp in times:
+            if current and timestamp - current[-1] > self.gap_threshold:
+                runs.append(current)
+                current = []
+            current.append(timestamp)
+        if current:
+            runs.append(current)
+        return runs
+
+    def _clamp_windows(self, groups: List[ActivityGroup]) -> None:
+        by_address: Dict[object, List[ActivityGroup]] = {}
+        for group in groups:
+            by_address.setdefault(group.address, []).append(group)
+        for sequence in by_address.values():
+            sequence.sort(key=lambda group: group.start)
+            for current, following in zip(sequence, sequence[1:]):
+                cutoff = following.start
+                current.rdns = [obs for obs in current.rdns if obs.at < cutoff]
+
+    def funnel(self, groups: List[ActivityGroup]) -> GroupFunnel:
+        """Classify groups down the Table 5 funnel."""
+        successful = [group for group in groups if group.successful]
+        reverted = [group for group in successful if group.reverted]
+        reliable = [group for group in reverted if group.reliable(self.reliable_gap)]
+        return GroupFunnel(
+            all_groups=len(groups),
+            successful=len(successful),
+            reverted=len(reverted),
+            reliable=len(reliable),
+        )
+
+    def usable(self, groups: List[ActivityGroup]) -> List[ActivityGroup]:
+        """Groups that survive the whole funnel (419,453 in the paper)."""
+        return [
+            group
+            for group in groups
+            if group.successful and group.reverted and group.reliable(self.reliable_gap)
+        ]

@@ -1,0 +1,181 @@
+"""Identifying privacy-leaking networks (Section 5.1).
+
+Starting from /24s flagged by the dynamicity heuristic, the pipeline:
+
+1. keeps PTR records inside dynamic /24s;
+2. excludes router-level records (generic location/interface terms);
+3. matches the rest against the given-name list;
+4. aggregates per hostname suffix: record count, uniquely matched
+   names, and their ratio;
+5. selects suffixes with at least ``min_unique_names`` unique matches
+   (the paper uses 50 at Internet scale) and
+6. a unique-names-to-records ratio of at least ``min_ratio`` (0.1) —
+   the defence against city-name confounds such as *jackson* repeated
+   across a router farm.
+
+The report also retains the Figure-2 and Figure-3 series: given-name
+and device-term counts before ("all matches") and after ("filtered
+matches") the thresholds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.names import GivenNameMatcher
+from repro.core.terms import extract_terms, hostname_suffix, is_router_level
+from repro.datasets.terms import DEVICE_TERMS
+from repro.netsim.network import slash24_of
+
+
+@dataclass(frozen=True)
+class LeakThresholds:
+    """Selection thresholds of Section 5.1 (steps 5 and 6).
+
+    The paper's ``min_unique_names=50`` operates at full-Internet scale
+    with thousands of clients per network; scaled-down worlds pass a
+    proportionally smaller value.
+    """
+
+    min_unique_names: int = 50
+    min_ratio: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.min_unique_names < 1:
+            raise ValueError("min_unique_names must be at least 1")
+        if not 0 < self.min_ratio <= 1:
+            raise ValueError("min_ratio must be in (0, 1]")
+
+
+@dataclass
+class SuffixStats:
+    """Per-suffix aggregation (step 4)."""
+
+    suffix: str
+    records: int = 0
+    unique_names: Set[str] = field(default_factory=set)
+    name_counts: Counter = field(default_factory=Counter)
+    device_term_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def unique_name_count(self) -> int:
+        return len(self.unique_names)
+
+    @property
+    def ratio(self) -> float:
+        if not self.records:
+            return 0.0
+        return len(self.unique_names) / self.records
+
+    def meets(self, thresholds: LeakThresholds) -> bool:
+        return (
+            self.unique_name_count >= thresholds.min_unique_names
+            and self.ratio >= thresholds.min_ratio
+        )
+
+
+@dataclass
+class LeakReport:
+    """The outcome of the drill-down."""
+
+    thresholds: LeakThresholds
+    suffix_stats: Dict[str, SuffixStats]
+    identified: List[str]
+    #: Figure 2: per-name counts over all records vs identified networks.
+    all_name_counts: Counter
+    filtered_name_counts: Counter
+    #: Figure 3: device-term counts in name-carrying records.
+    all_device_term_counts: Counter
+    filtered_device_term_counts: Counter
+
+    @property
+    def identified_count(self) -> int:
+        return len(self.identified)
+
+    def stats_for(self, suffix: str) -> SuffixStats:
+        return self.suffix_stats[suffix]
+
+
+class LeakIdentifier:
+    """Runs steps 1-6 over one day's (or period's) PTR records."""
+
+    def __init__(
+        self,
+        matcher: GivenNameMatcher = None,
+        thresholds: LeakThresholds = LeakThresholds(),
+        *,
+        device_terms: Sequence[str] = tuple(DEVICE_TERMS),
+    ):
+        self.matcher = matcher or GivenNameMatcher()
+        self.thresholds = thresholds
+        self.device_terms = list(device_terms)
+
+    def identify(
+        self,
+        records: Iterable[Tuple[object, str]],
+        dynamic_24s: Iterable[str],
+    ) -> LeakReport:
+        """Drill down from (address, hostname) records to leaking suffixes.
+
+        ``dynamic_24s`` is the set of /24 keys the dynamicity heuristic
+        flagged; records outside it still feed the Figure-2 "all
+        matches" series but cannot contribute to identification.
+        """
+        dynamic = set(dynamic_24s)
+        suffix_stats: Dict[str, SuffixStats] = {}
+        all_names: Counter = Counter()
+        all_terms: Counter = Counter()
+
+        for address, hostname in records:
+            matched = self.matcher.match(hostname)
+            if matched:
+                all_names.update(matched)
+                all_terms.update(self._device_terms_in(hostname))
+            if slash24_of(address) not in dynamic:
+                continue  # step 1: only dynamic space can identify
+            if is_router_level(hostname):
+                continue  # step 2: exclude router-level records
+            if not matched:
+                continue  # step 3: given-name match required
+            suffix = hostname_suffix(hostname)
+            stats = suffix_stats.get(suffix)
+            if stats is None:
+                stats = suffix_stats[suffix] = SuffixStats(suffix)
+            stats.records += 1
+            stats.unique_names.update(matched)
+            stats.name_counts.update(matched)
+            stats.device_term_counts.update(self._device_terms_in(hostname))
+
+        identified = sorted(
+            suffix
+            for suffix, stats in suffix_stats.items()
+            if stats.meets(self.thresholds)
+        )
+        filtered_names: Counter = Counter()
+        filtered_terms: Counter = Counter()
+        for suffix in identified:
+            filtered_names.update(suffix_stats[suffix].name_counts)
+            filtered_terms.update(suffix_stats[suffix].device_term_counts)
+
+        return LeakReport(
+            thresholds=self.thresholds,
+            suffix_stats=suffix_stats,
+            identified=identified,
+            all_name_counts=all_names,
+            filtered_name_counts=filtered_names,
+            all_device_term_counts=all_terms,
+            filtered_device_term_counts=filtered_terms,
+        )
+
+    def _device_terms_in(self, hostname: str) -> Set[str]:
+        terms = set(extract_terms(hostname))
+        found = {term for term in self.device_terms if term in terms}
+        # 'galaxy-note9' tokenises to {'galaxy', 'note'}; multi-token
+        # device terms are matched as substrings of the whole hostname.
+        haystack = hostname.lower()
+        for term in self.device_terms:
+            if len(term) >= 3 and term in haystack:
+                found.add(term)
+        return found

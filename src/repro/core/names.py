@@ -1,0 +1,61 @@
+"""Given-name matching in hostnames (Section 5.1).
+
+Hostnames "contain" a given name when the name appears as a substring
+(``brians-iphone`` contains *brian*; the city ``jacksonville`` contains
+*jackson* — the confound the suffix thresholds must absorb).  Only
+names of at least three characters are considered, mirroring the
+paper's note that shorter terms "add a lot of noise".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import FrozenSet, Iterable, List, Sequence, Set
+
+from repro.datasets.names import TOP_GIVEN_NAMES
+
+
+class GivenNameMatcher:
+    """Finds given names contained in hostnames."""
+
+    def __init__(self, names: Sequence[str] = tuple(TOP_GIVEN_NAMES), *, min_length: int = 3):
+        cleaned = []
+        for name in names:
+            name = name.lower().strip()
+            if len(name) >= min_length:
+                cleaned.append(name)
+        if not cleaned:
+            raise ValueError("no usable names after the length filter")
+        # Longest first so 'jackson' wins over 'jack' if both are listed.
+        self.names: List[str] = sorted(set(cleaned), key=len, reverse=True)
+        self._name_set: FrozenSet[str] = frozenset(self.names)
+
+    def match(self, hostname: str) -> Set[str]:
+        """All names contained in ``hostname`` (lower-cased substring)."""
+        haystack = hostname.lower()
+        return {name for name in self.names if name in haystack}
+
+    def matches(self, hostname: str) -> bool:
+        haystack = hostname.lower()
+        return any(name in haystack for name in self.names)
+
+    def first_match(self, hostname: str):
+        """The longest name contained in ``hostname``, or None."""
+        haystack = hostname.lower()
+        for name in self.names:
+            if name in haystack:
+                return name
+        return None
+
+    def count_matches(self, hostnames: Iterable[str]) -> Counter:
+        """Per-name count of hostnames containing each name (Figure 2)."""
+        counter: Counter = Counter()
+        for hostname in hostnames:
+            counter.update(self.match(hostname))
+        return counter
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._name_set
+
+    def __len__(self) -> int:
+        return len(self.names)

@@ -1,0 +1,162 @@
+"""End-to-end study orchestration.
+
+:class:`ReproductionStudy` wires the whole paper together: build (or
+accept) a simulated world, collect snapshot series, run the dynamicity
+heuristic, drill down to identified networks, run the supplemental
+campaign, and derive groups and lingering times.  Each stage is lazy
+and cached, so examples and the benchmark harness can share one study
+object and pay for each simulation exactly once.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.classify import NetworkTypeClassifier
+from repro.core.dynamicity import DynamicityAnalyzer, DynamicityReport, DynamicityThresholds
+from repro.core.grouping import ActivityGroup, GroupBuilder, GroupFunnel
+from repro.core.leaks import LeakIdentifier, LeakReport, LeakThresholds
+from repro.core.names import GivenNameMatcher
+from repro.core.prefixes import AnnouncedPrefixMap
+from repro.core.timing import LingeringAnalysis, lingering_analysis
+from repro.netsim.internet import World, WorldScale, build_world
+from repro.netsim.network import NetworkType
+from repro.scan.campaign import SupplementalCampaign, SupplementalDataset
+from repro.scan.snapshot import SnapshotCollector, SnapshotSeries
+
+
+@dataclass
+class StudyConfig:
+    """Windows and thresholds for one full reproduction run.
+
+    Dates default to the paper's: dynamicity over 2021-01..2021-03,
+    supplemental measurement 2021-10-25..2021-12-05.  The
+    ``min_unique_names`` default is scaled to simulated-world size (the
+    paper's value is 50 at full-Internet scale).
+    """
+
+    seed: int = 0
+    scale: Optional[WorldScale] = None
+    dynamicity_start: dt.date = dt.date(2021, 1, 1)
+    dynamicity_end: dt.date = dt.date(2021, 4, 1)
+    dynamicity_thresholds: DynamicityThresholds = field(default_factory=DynamicityThresholds)
+    leak_thresholds: LeakThresholds = field(
+        default_factory=lambda: LeakThresholds(min_unique_names=6, min_ratio=0.1)
+    )
+    leak_sample_days: int = 7
+    supplemental_start: dt.date = dt.date(2021, 10, 25)
+    supplemental_end: dt.date = dt.date(2021, 12, 5)
+
+    @classmethod
+    def quick(cls, seed: int = 0) -> "StudyConfig":
+        """A fast configuration for tests and smoke runs."""
+        return cls(
+            seed=seed,
+            scale=WorldScale.small(),
+            dynamicity_start=dt.date(2021, 1, 1),
+            dynamicity_end=dt.date(2021, 1, 22),
+            leak_thresholds=LeakThresholds(min_unique_names=3, min_ratio=0.05),
+            leak_sample_days=7,
+            supplemental_start=dt.date(2021, 11, 1),
+            supplemental_end=dt.date(2021, 11, 3),
+        )
+
+
+class ReproductionStudy:
+    """Lazily materialises every stage of the reproduction."""
+
+    def __init__(self, config: Optional[StudyConfig] = None, *, world: Optional[World] = None):
+        self.config = config or StudyConfig()
+        self._world = world
+        self._daily_series: Optional[SnapshotSeries] = None
+        self._dynamicity: Optional[DynamicityReport] = None
+        self._leaks: Optional[LeakReport] = None
+        self._supplemental: Optional[SupplementalDataset] = None
+        self._groups: Optional[List[ActivityGroup]] = None
+        self._group_builder = GroupBuilder()
+
+    # -- stages --------------------------------------------------------------
+
+    @property
+    def world(self) -> World:
+        if self._world is None:
+            self._world = build_world(seed=self.config.seed, scale=self.config.scale)
+        return self._world
+
+    def daily_series(self) -> SnapshotSeries:
+        """Daily snapshots over the dynamicity window (OpenINTEL-style)."""
+        if self._daily_series is None:
+            collector = SnapshotCollector.openintel_style(self.world.internet)
+            self._daily_series = collector.collect(
+                self.config.dynamicity_start, self.config.dynamicity_end
+            )
+        return self._daily_series
+
+    def dynamicity(self) -> DynamicityReport:
+        """Section 4: flag dynamic /24s."""
+        if self._dynamicity is None:
+            analyzer = DynamicityAnalyzer(self.config.dynamicity_thresholds)
+            self._dynamicity = analyzer.analyze(self.daily_series())
+        return self._dynamicity
+
+    def announced_prefix_map(self) -> AnnouncedPrefixMap:
+        return AnnouncedPrefixMap(
+            (announcement.prefix, announcement.holder)
+            for announcement in self.world.internet.announced_prefixes()
+        )
+
+    def leaks(self) -> LeakReport:
+        """Section 5: identify identity-leaking networks.
+
+        Records from the last ``leak_sample_days`` collected days feed
+        the matcher (the paper uses daily OpenINTEL data).
+        """
+        if self._leaks is None:
+            series = self.daily_series()
+            dynamic = set(self.dynamicity().dynamic_prefixes())
+            identifier = LeakIdentifier(GivenNameMatcher(), self.config.leak_thresholds)
+            sample_days = series.days[-self.config.leak_sample_days:]
+
+            def all_records():
+                seen = set()
+                for day in sample_days:
+                    for address, hostname in series.records_on(day):
+                        key = (address, hostname)
+                        if key not in seen:
+                            seen.add(key)
+                            yield key
+
+            self._leaks = identifier.identify(all_records(), dynamic)
+        return self._leaks
+
+    def type_breakdown(self) -> Dict[NetworkType, float]:
+        """Figure 4: type shares among identified networks."""
+        classifier = NetworkTypeClassifier()
+        return classifier.breakdown_percent(self.leaks().identified)
+
+    def supplemental(self) -> SupplementalDataset:
+        """Section 6.1: run the supplemental campaign."""
+        if self._supplemental is None:
+            campaign = SupplementalCampaign(self.world)
+            self._supplemental = campaign.run(
+                self.config.supplemental_start, self.config.supplemental_end
+            )
+        return self._supplemental
+
+    def groups(self) -> List[ActivityGroup]:
+        if self._groups is None:
+            self._groups = self._group_builder.build(self.supplemental())
+        return self._groups
+
+    def funnel(self) -> GroupFunnel:
+        """Table 5."""
+        return self._group_builder.funnel(self.groups())
+
+    def usable_groups(self) -> List[ActivityGroup]:
+        return self._group_builder.usable(self.groups())
+
+    def lingering(self) -> LingeringAnalysis:
+        """Figure 7."""
+        return lingering_analysis(self.usable_groups())

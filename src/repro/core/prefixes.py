@@ -1,0 +1,104 @@
+"""Mapping /24 prefixes to announced covering prefixes (Figure 1).
+
+The paper maps "any /24 prefix that we identify as dynamic back to the
+most-specific announced, covering prefix" and reports, per announced
+prefix size, the distribution of the *fraction* of its /24 subprefixes
+that behave dynamically.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+Prefixable = Union[str, ipaddress.IPv4Network]
+
+
+@dataclass(frozen=True)
+class FractionSummary:
+    """Min / median / max of dynamic-/24 fractions for one prefix size."""
+
+    prefixlen: int
+    prefixes: int
+    minimum: float
+    median: float
+    maximum: float
+
+
+class AnnouncedPrefixMap:
+    """Longest-prefix matching of /24s against announced prefixes."""
+
+    def __init__(self, announcements: Iterable[Tuple[Prefixable, str]]):
+        self._by_length: Dict[int, Dict[int, Tuple[ipaddress.IPv4Network, str]]] = {}
+        self._count = 0
+        for prefix, holder in announcements:
+            network = ipaddress.IPv4Network(prefix)
+            if network.prefixlen > 24:
+                raise ValueError(f"announced prefix {network} more specific than /24")
+            table = self._by_length.setdefault(network.prefixlen, {})
+            key = int(network.network_address)
+            if key in table:
+                raise ValueError(f"duplicate announcement for {network}")
+            table[key] = (network, holder)
+            self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def covering(self, prefix: Prefixable) -> Optional[Tuple[ipaddress.IPv4Network, str]]:
+        """The most-specific announced prefix covering ``prefix``."""
+        network = ipaddress.IPv4Network(prefix)
+        address = int(network.network_address)
+        for length in sorted(self._by_length, reverse=True):
+            if length > network.prefixlen:
+                continue
+            mask = ((1 << length) - 1) << (32 - length) if length else 0
+            entry = self._by_length[length].get(address & mask)
+            if entry is not None:
+                return entry
+        return None
+
+    def dynamic_fractions(
+        self, dynamic_24s: Iterable[Prefixable]
+    ) -> Dict[ipaddress.IPv4Network, float]:
+        """Fraction of each announced prefix's /24s that are dynamic.
+
+        Only announced prefixes covering at least one dynamic /24
+        appear in the result (as plotted in Figure 1).
+        """
+        counts: Dict[ipaddress.IPv4Network, int] = {}
+        for prefix in dynamic_24s:
+            entry = self.covering(prefix)
+            if entry is None:
+                continue
+            counts[entry[0]] = counts.get(entry[0], 0) + 1
+        fractions = {}
+        for network, dynamic_count in counts.items():
+            total_24s = 2 ** max(0, 24 - network.prefixlen)
+            fractions[network] = dynamic_count / total_24s
+        return fractions
+
+
+def dynamic_fraction_summary(
+    prefix_map: AnnouncedPrefixMap, dynamic_24s: Iterable[Prefixable]
+) -> List[FractionSummary]:
+    """Figure 1's per-size distribution ticks (min, median, max)."""
+    fractions = prefix_map.dynamic_fractions(dynamic_24s)
+    by_size: Dict[int, List[float]] = {}
+    for network, fraction in fractions.items():
+        by_size.setdefault(network.prefixlen, []).append(fraction)
+    summaries = []
+    for prefixlen in sorted(by_size):
+        values = sorted(by_size[prefixlen])
+        summaries.append(
+            FractionSummary(
+                prefixlen=prefixlen,
+                prefixes=len(values),
+                minimum=values[0],
+                median=statistics.median(values),
+                maximum=values[-1],
+            )
+        )
+    return summaries

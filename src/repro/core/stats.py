@@ -1,0 +1,128 @@
+"""Statistical support for the analyses.
+
+The paper reports point estimates ("in about 9 of 10 cases...").  For a
+reproduction it is useful to know how firm such numbers are at simulator
+scale, so this module adds:
+
+* bootstrap confidence intervals for arbitrary statistics of the
+  lingering-time sample (:func:`bootstrap_ci`);
+* a Wilson interval for proportions such as *fraction within 60
+  minutes* (:func:`proportion_ci`);
+* a two-sample Kolmogorov-Smirnov comparison of per-network lingering
+  distributions (:func:`compare_networks`), quantifying Figure 7b's
+  visual separation between e.g. the long-lease academic and the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.core.timing import LingeringAnalysis
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A point estimate with a confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: object) -> bool:
+        return isinstance(value, (int, float)) and self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.estimate:.3f} [{self.low:.3f}, {self.high:.3f}] @ {self.confidence:.0%}"
+
+
+def bootstrap_ci(
+    sample: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.median,
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> Interval:
+    """Percentile-bootstrap CI for ``statistic`` over ``sample``."""
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    values = np.asarray(list(sample), dtype=float)
+    if values.size == 0:
+        raise ValueError("empty sample")
+    rng = np.random.default_rng(seed)
+    estimates = np.empty(resamples)
+    for index in range(resamples):
+        estimates[index] = statistic(rng.choice(values, size=values.size, replace=True))
+    alpha = (1 - confidence) / 2
+    low, high = np.quantile(estimates, [alpha, 1 - alpha])
+    return Interval(float(statistic(values)), float(low), float(high), confidence)
+
+
+def proportion_ci(successes: int, total: int, *, confidence: float = 0.95) -> Interval:
+    """Wilson score interval for a proportion."""
+    if total <= 0:
+        raise ValueError("total must be positive")
+    if not 0 <= successes <= total:
+        raise ValueError("successes must be within [0, total]")
+    z = float(sps.norm.ppf(1 - (1 - confidence) / 2))
+    p = successes / total
+    denominator = 1 + z**2 / total
+    center = (p + z**2 / (2 * total)) / denominator
+    margin = z * np.sqrt(p * (1 - p) / total + z**2 / (4 * total**2)) / denominator
+    return Interval(p, max(0.0, center - margin), min(1.0, center + margin), confidence)
+
+
+@dataclass(frozen=True)
+class KsComparison:
+    """A two-sample KS comparison of lingering distributions."""
+
+    network_a: str
+    network_b: str
+    statistic: float
+    p_value: float
+
+    def distinguishable(self, alpha: float = 0.01) -> bool:
+        """Whether an outside observer can tell the networks apart."""
+        return self.p_value < alpha
+
+
+def compare_networks(
+    analysis: LingeringAnalysis, network_a: str, network_b: str
+) -> KsComparison:
+    """KS-compare two networks' lingering-time distributions."""
+    sample_a = analysis.by_network.get(network_a, [])
+    sample_b = analysis.by_network.get(network_b, [])
+    if not sample_a or not sample_b:
+        raise ValueError("both networks need lingering data")
+    result = sps.ks_2samp(sample_a, sample_b)
+    return KsComparison(network_a, network_b, float(result.statistic), float(result.pvalue))
+
+
+def lingering_summary(
+    analysis: LingeringAnalysis,
+    *,
+    within_minutes: float = 60.0,
+    confidence: float = 0.95,
+    network: Optional[str] = None,
+    seed: int = 0,
+) -> Dict[str, Interval]:
+    """The headline numbers with uncertainty attached.
+
+    Returns intervals for the median lingering time and for the
+    fraction of records reverting within ``within_minutes``.
+    """
+    values = analysis.by_network.get(network, []) if network else analysis.minutes
+    if not values:
+        raise ValueError("no lingering data")
+    within = sum(1 for value in values if value <= within_minutes)
+    return {
+        "median_minutes": bootstrap_ci(values, np.median, confidence=confidence, seed=seed),
+        f"fraction_within_{int(within_minutes)}m": proportion_ci(
+            within, len(values), confidence=confidence
+        ),
+    }

@@ -1,0 +1,22 @@
+"""Embedded reference data.
+
+* :mod:`repro.datasets.names` — the top-50 US given names (SSA
+  2000-2020 popularity ranking) the paper matches against (Figure 2).
+* :mod:`repro.datasets.terms` — the device-term lexicon of Figure 3 and
+  the generic router-level terms excluded in Section 5.1.
+"""
+
+from repro.datasets.names import TOP_GIVEN_NAMES, name_popularity_weights
+from repro.datasets.terms import (
+    CITY_NAMES_WITH_GIVEN_NAME_OVERLAP,
+    DEVICE_TERMS,
+    GENERIC_ROUTER_TERMS,
+)
+
+__all__ = [
+    "CITY_NAMES_WITH_GIVEN_NAME_OVERLAP",
+    "DEVICE_TERMS",
+    "GENERIC_ROUTER_TERMS",
+    "TOP_GIVEN_NAMES",
+    "name_popularity_weights",
+]

@@ -1,0 +1,103 @@
+"""The top-50 US given names, 2000-2020, ranked by popularity.
+
+The paper (Section 5.1) matches PTR records against "names given to
+newborns" published by the US Social Security Administration, selecting
+"names for the years 2000 up to 2020, ranked by popularity over this
+20-year period" and keeping the top 50.  The list below is that
+ranking; it is also the x-axis of the paper's Figure 2 (Jacob, Michael,
+Emma, William, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Top-50 given names in paper/Figure-2 order (most popular first).
+TOP_GIVEN_NAMES: List[str] = [
+    "jacob",
+    "michael",
+    "emma",
+    "william",
+    "ethan",
+    "olivia",
+    "matthew",
+    "emily",
+    "daniel",
+    "noah",
+    "joshua",
+    "isabella",
+    "alexander",
+    "joseph",
+    "james",
+    "andrew",
+    "sophia",
+    "christopher",
+    "anthony",
+    "david",
+    "madison",
+    "logan",
+    "benjamin",
+    "ryan",
+    "abigail",
+    "john",
+    "elijah",
+    "mason",
+    "samuel",
+    "dylan",
+    "nicholas",
+    "jayden",
+    "liam",
+    "elizabeth",
+    "christian",
+    "gabriel",
+    "tyler",
+    "jonathan",
+    "nathan",
+    "jordan",
+    "hannah",
+    "aiden",
+    "jackson",
+    "alexis",
+    "caleb",
+    "lucas",
+    "angel",
+    "brandon",
+    "brian",
+    "ashley",
+]
+
+#: Names outside the top-50 used to populate realistic device owners;
+#: these must NOT be matched by the analysis (the paper accepts the
+#: top-50 bias deliberately).
+OTHER_GIVEN_NAMES: List[str] = [
+    "gary",
+    "francesca",
+    "piet",
+    "marieke",
+    "sven",
+    "ingrid",
+    "henk",
+    "paolo",
+    "yuki",
+    "chen",
+    "amara",
+    "kofi",
+    "lars",
+    "saskia",
+    "bram",
+    "femke",
+    "giulia",
+    "mateo",
+    "priya",
+    "ravi",
+]
+
+
+def name_popularity_weights() -> Dict[str, float]:
+    """A Zipf-like popularity weight per top-50 name.
+
+    The SSA ranking is heavy-tailed; a 1/rank weighting reproduces the
+    decreasing-count shape of Figure 2 without embedding exact SSA
+    counts.
+    """
+    return {name: 1.0 / (rank + 1) for rank, name in enumerate(TOP_GIVEN_NAMES)}

@@ -1,0 +1,119 @@
+"""Term lexicons for hostname analysis.
+
+* :data:`DEVICE_TERMS` — the device make/model/kind terms of the
+  paper's Figure 3 (ipad, air, laptop, phone, dell, desktop, iphone,
+  mbp, android, macbook, galaxy, lenovo, chrome, roku).
+* :data:`GENERIC_ROUTER_TERMS` — "generic terms that convey location or
+  router-level information ... less likely to be used in client
+  hostname prefixes" (Section 5.1), used to exclude router-level PTR
+  records.
+* :data:`CITY_NAMES_WITH_GIVEN_NAME_OVERLAP` — city names that collide
+  with given names (the paper's Jackson/Jacksonville example); used by
+  the simulation to stress the suffix-threshold defence of Section 5.1.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+#: Figure-3 device terms, in the paper's x-axis order.
+DEVICE_TERMS: List[str] = [
+    "ipad",
+    "air",
+    "laptop",
+    "phone",
+    "dell",
+    "desktop",
+    "iphone",
+    "mbp",
+    "android",
+    "macbook",
+    "galaxy",
+    "lenovo",
+    "chrome",
+    "roku",
+]
+
+#: Router/location terms used to exclude infrastructure records.
+GENERIC_ROUTER_TERMS: FrozenSet[str] = frozenset(
+    {
+        # Compass / location words (the paper's examples: north, south).
+        "north",
+        "south",
+        "east",
+        "west",
+        # Router-level interface naming (cf. Chabarek & Barford; Luckie et al.).
+        "core",
+        "edge",
+        "border",
+        "gw",
+        "gateway",
+        "rtr",
+        "router",
+        "sw",
+        "switch",
+        "ae",
+        "xe",
+        "ge",
+        "te",
+        "eth",
+        "vlan",
+        "pos",
+        "bundle",
+        "loopback",
+        "mgmt",
+        "uplink",
+        "transit",
+        "peer",
+        "peering",
+        "ix",
+        "pop",
+        "dc",
+        "colo",
+        # Generic service infrastructure.
+        "static",
+        "dynamic",
+        "dhcp",
+        "pool",
+        "nat",
+        "vpn",
+        "wlan",
+        "wifi",
+        "dsl",
+        "cable",
+        "fiber",
+        "ftth",
+        "mail",
+        "smtp",
+        "dns",
+        "ns",
+        "www",
+        "firewall",
+        "fw",
+        "proxy",
+        "lb",
+        "vip",
+    }
+)
+
+#: City names that embed a top-50 given name as a substring or whole word.
+CITY_NAMES_WITH_GIVEN_NAME_OVERLAP: List[str] = [
+    "jackson",
+    "jacksonville",
+    "madison",
+    "logan",
+    "tyler",
+]
+
+#: Non-colliding city names used alongside the overlap set in
+#: router-level hostnames.
+PLAIN_CITY_NAMES: List[str] = [
+    "lincoln",
+    "austin",
+    "charlotte",
+    "houston",
+    "denver",
+    "phoenix",
+    "boston",
+    "seattle",
+]

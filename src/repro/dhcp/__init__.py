@@ -1,0 +1,45 @@
+"""DHCP substrate.
+
+Implements the client/server mechanics whose interaction with DNS the
+paper studies: leases with renewal and expiry, the optional Host Name
+(option 12) and Client FQDN (option 81) parameters that carry device
+names, DHCPRELEASE vs. silent leave, and the RFC 7844 anonymity profile
+that strips identifying options.
+"""
+
+from repro.dhcp.errors import DhcpError, PoolExhaustedError, UnknownLeaseError
+from repro.dhcp.events import LeaseEvent, LeaseEventKind
+from repro.dhcp.lease import Lease, LeaseDatabase, LeaseState
+from repro.dhcp.messages import DhcpMessage, MessageType
+from repro.dhcp.options import (
+    ANONYMITY_PROFILE,
+    ClientFqdn,
+    DhcpOptionCode,
+    OptionSet,
+    apply_anonymity_profile,
+)
+from repro.dhcp.pool import AddressPool
+from repro.dhcp.server import DhcpServer
+from repro.dhcp.client import DhcpClient, DhcpClientState
+
+__all__ = [
+    "ANONYMITY_PROFILE",
+    "AddressPool",
+    "ClientFqdn",
+    "DhcpClient",
+    "DhcpClientState",
+    "DhcpError",
+    "DhcpMessage",
+    "DhcpOptionCode",
+    "DhcpServer",
+    "Lease",
+    "LeaseDatabase",
+    "LeaseEvent",
+    "LeaseEventKind",
+    "LeaseState",
+    "MessageType",
+    "OptionSet",
+    "PoolExhaustedError",
+    "UnknownLeaseError",
+    "apply_anonymity_profile",
+]

@@ -1,0 +1,13 @@
+"""Exception hierarchy for the DHCP substrate."""
+
+
+class DhcpError(Exception):
+    """Base class for DHCP substrate errors."""
+
+
+class PoolExhaustedError(DhcpError):
+    """No free address is available in the pool."""
+
+
+class UnknownLeaseError(DhcpError, KeyError):
+    """The referenced lease does not exist in the lease database."""

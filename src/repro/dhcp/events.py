@@ -1,0 +1,35 @@
+"""Lease lifecycle events.
+
+The IPAM bridge (:mod:`repro.ipam`) subscribes to these to drive DNS
+updates — the coupling at the heart of the paper.  The event kinds map
+directly onto the client-activity phases of Section 6.1:
+
+* ``BOUND`` — phase 1, the client joined and got an address; the PTR
+  record may be added now.
+* ``RENEWED`` — phase 2, the client is active; the PTR stays unchanged.
+* ``RELEASED`` / ``EXPIRED`` — phase 3, the client left (cleanly or
+  silently); the PTR may be removed or reverted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dhcp.lease import Lease
+
+
+class LeaseEventKind(enum.Enum):
+    BOUND = "bound"
+    RENEWED = "renewed"
+    RELEASED = "released"
+    EXPIRED = "expired"
+
+
+@dataclass(frozen=True)
+class LeaseEvent:
+    """A lease transition at simulation time ``at`` (seconds)."""
+
+    kind: LeaseEventKind
+    lease: Lease
+    at: int

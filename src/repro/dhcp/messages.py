@@ -1,0 +1,57 @@
+"""DHCP message model (the DORA + RELEASE subset)."""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dhcp.options import DhcpOptionCode, OptionSet
+
+
+class MessageType(enum.IntEnum):
+    """RFC 2132 option 53 values used here."""
+
+    DISCOVER = 1
+    OFFER = 2
+    REQUEST = 3
+    DECLINE = 4
+    ACK = 5
+    NAK = 6
+    RELEASE = 7
+    INFORM = 8
+
+
+@dataclass
+class DhcpMessage:
+    """One DHCP message.
+
+    ``client_id`` stands in for the chaddr/client-identifier pair; the
+    measurement never sees it (it stays inside the network), but the
+    server keys leases on it.
+    """
+
+    message_type: MessageType
+    client_id: str
+    options: OptionSet = field(default_factory=OptionSet)
+    your_address: Optional[ipaddress.IPv4Address] = None
+    server_id: Optional[str] = None
+
+    @property
+    def host_name(self) -> Optional[str]:
+        return self.options.host_name
+
+    @property
+    def requested_address(self) -> Optional[ipaddress.IPv4Address]:
+        return self.options.get(DhcpOptionCode.REQUESTED_IP)
+
+    @property
+    def lease_time(self) -> Optional[int]:
+        return self.options.get(DhcpOptionCode.LEASE_TIME)
+
+    def __repr__(self) -> str:
+        return (
+            f"DhcpMessage({self.message_type.name}, client={self.client_id!r}, "
+            f"yiaddr={self.your_address}, host_name={self.host_name!r})"
+        )

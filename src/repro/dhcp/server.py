@@ -1,0 +1,182 @@
+"""The DHCP server state machine.
+
+Implements the DORA exchange, renewals, RELEASE handling and an expiry
+sweep.  Every lease transition is published as a
+:class:`~repro.dhcp.events.LeaseEvent` so that an IPAM system (or any
+listener) can mirror it into DNS — which is exactly the automated
+coupling the paper investigates.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Callable, List, Optional
+
+from repro.dhcp.errors import DhcpError, PoolExhaustedError
+from repro.dhcp.events import LeaseEvent, LeaseEventKind
+from repro.dhcp.lease import Lease, LeaseDatabase, LeaseState
+from repro.dhcp.messages import DhcpMessage, MessageType
+from repro.dhcp.options import DhcpOptionCode, OptionSet
+from repro.dhcp.pool import AddressPool
+
+DEFAULT_LEASE_TIME = 3600
+
+LeaseListener = Callable[[LeaseEvent], None]
+
+
+class DhcpServer:
+    """A DHCP server over one address pool.
+
+    The ``lease_time`` default of one hour matches the paper's
+    observation that leases "often set to an hour for a fast turn-over
+    rate" produce the hour-multiple peaks of Figure 7a.
+    """
+
+    def __init__(
+        self,
+        pool: AddressPool,
+        *,
+        server_id: str = "dhcp.example.net",
+        lease_time: int = DEFAULT_LEASE_TIME,
+    ):
+        if lease_time <= 0:
+            raise ValueError("lease_time must be positive")
+        self.pool = pool
+        self.server_id = server_id
+        self.lease_time = lease_time
+        self.leases = LeaseDatabase()
+        self._listeners: List[LeaseListener] = []
+        self.messages_processed = 0
+
+    def subscribe(self, listener: LeaseListener) -> None:
+        """Register a lease-event listener (e.g. an IPAM system)."""
+        self._listeners.append(listener)
+
+    def _publish(self, kind: LeaseEventKind, lease: Lease, at: int) -> None:
+        event = LeaseEvent(kind, lease, at)
+        for listener in self._listeners:
+            listener(event)
+
+    # -- protocol handlers ------------------------------------------------
+
+    def handle(self, message: DhcpMessage, now: int) -> Optional[DhcpMessage]:
+        """Dispatch one client message; RELEASE gets no reply."""
+        self.messages_processed += 1
+        if message.message_type is MessageType.DISCOVER:
+            return self.handle_discover(message, now)
+        if message.message_type is MessageType.REQUEST:
+            return self.handle_request(message, now)
+        if message.message_type is MessageType.RELEASE:
+            self.handle_release(message, now)
+            return None
+        raise DhcpError(f"server cannot handle {message.message_type.name}")
+
+    def handle_discover(self, message: DhcpMessage, now: int) -> Optional[DhcpMessage]:
+        """DISCOVER -> OFFER (or silence when the pool is exhausted)."""
+        existing = self.leases.find_by_client(message.client_id)
+        if existing is not None and existing.is_active(now):
+            offered = existing.address
+        else:
+            try:
+                offered = self.pool.allocate(message.client_id, message.requested_address)
+            except PoolExhaustedError:
+                return None
+            # The offer itself does not bind; return the address until REQUEST.
+            self.pool.release(offered)
+        options = OptionSet()
+        options.set(DhcpOptionCode.LEASE_TIME, self.lease_time)
+        options.set(DhcpOptionCode.SERVER_IDENTIFIER, self.server_id)
+        return DhcpMessage(
+            MessageType.OFFER,
+            message.client_id,
+            options=options,
+            your_address=offered,
+            server_id=self.server_id,
+        )
+
+    def handle_request(self, message: DhcpMessage, now: int) -> Optional[DhcpMessage]:
+        """REQUEST -> ACK, binding or renewing a lease; NAK on conflict."""
+        existing = self.leases.find_by_client(message.client_id)
+        requested = message.requested_address
+
+        if existing is not None and existing.is_active(now):
+            if requested is not None and requested != existing.address:
+                return self._nak(message)
+            existing.renew(now)
+            if message.host_name is not None:
+                existing.host_name = message.host_name
+            if message.options.client_fqdn is not None:
+                existing.client_fqdn = message.options.client_fqdn
+            self._publish(LeaseEventKind.RENEWED, existing, now)
+            return self._ack(message, existing)
+
+        if existing is not None:
+            # Stale binding for this client: expire it before rebinding.
+            self._expire_lease(existing, now)
+
+        try:
+            address = self.pool.allocate(message.client_id, requested)
+        except PoolExhaustedError:
+            return self._nak(message)
+        if requested is not None and address != ipaddress.ip_address(requested):
+            # Requested address unavailable; RFC behaviour is to NAK so
+            # the client restarts with DISCOVER.
+            self.pool.release(address)
+            return self._nak(message)
+        lease = Lease(
+            address=address,
+            client_id=message.client_id,
+            duration=message.lease_time or self.lease_time,
+            bound_at=now,
+            host_name=message.host_name,
+            client_fqdn=message.options.client_fqdn,
+        )
+        self.leases.add(lease)
+        self._publish(LeaseEventKind.BOUND, lease, now)
+        return self._ack(message, lease)
+
+    def handle_release(self, message: DhcpMessage, now: int) -> None:
+        """RELEASE: drop the lease immediately and tell listeners."""
+        lease = self.leases.find_by_client(message.client_id)
+        if lease is None:
+            return
+        self.leases.drop(lease, LeaseState.RELEASED)
+        self.pool.release(lease.address)
+        self._publish(LeaseEventKind.RELEASED, lease, now)
+
+    def expire_leases(self, now: int) -> List[Lease]:
+        """Sweep: retire every lease whose lifetime has run out.
+
+        Real servers do this continuously; a simulation should call it
+        at least once per lease-time granularity (the reactive
+        measurement's five-minute probe interval is plenty).
+        """
+        expired = self.leases.expired(now)
+        for lease in expired:
+            self._expire_lease(lease, now)
+        return expired
+
+    def _expire_lease(self, lease: Lease, now: int) -> None:
+        self.leases.drop(lease, LeaseState.EXPIRED)
+        self.pool.release(lease.address)
+        self._publish(LeaseEventKind.EXPIRED, lease, now)
+
+    # -- reply builders ---------------------------------------------------
+
+    def _ack(self, message: DhcpMessage, lease: Lease) -> DhcpMessage:
+        options = OptionSet()
+        options.set(DhcpOptionCode.LEASE_TIME, lease.duration)
+        options.set(DhcpOptionCode.SERVER_IDENTIFIER, self.server_id)
+        return DhcpMessage(
+            MessageType.ACK,
+            message.client_id,
+            options=options,
+            your_address=lease.address,
+            server_id=self.server_id,
+        )
+
+    def _nak(self, message: DhcpMessage) -> DhcpMessage:
+        return DhcpMessage(MessageType.NAK, message.client_id, server_id=self.server_id)
+
+    def __repr__(self) -> str:
+        return f"DhcpServer({self.server_id!r}, {len(self.leases)} active leases)"

@@ -1,0 +1,213 @@
+"""RFC 2131/2132 wire format for DHCP messages.
+
+The simulation exchanges :class:`~repro.dhcp.messages.DhcpMessage`
+objects directly, but a credible DHCP implementation speaks the wire
+format: the fixed 236-octet BOOTP header, the magic cookie, and TLV
+options.  This codec covers the options the reproduction models —
+including the identity-carrying Host Name (12) and Client FQDN (81) —
+and round-trips through :func:`encode` / :func:`decode`.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from typing import Optional, Tuple
+
+from repro.dhcp.errors import DhcpError
+from repro.dhcp.messages import DhcpMessage, MessageType
+from repro.dhcp.options import ClientFqdn, DhcpOptionCode, OptionSet
+
+MAGIC_COOKIE = b"\x63\x82\x53\x63"
+
+_OP_REQUEST = 1
+_OP_REPLY = 2
+_HTYPE_ETHERNET = 1
+
+_REPLY_TYPES = frozenset({MessageType.OFFER, MessageType.ACK, MessageType.NAK})
+
+_PAD = 0
+_END = 255
+
+
+class DhcpWireError(DhcpError, ValueError):
+    """A DHCP packet could not be encoded or decoded."""
+
+
+def _client_id_to_chaddr(client_id: str) -> bytes:
+    """Render a client id as a 16-octet chaddr field.
+
+    MAC-style ids ("aa:bb:cc:dd:ee:ff") become their 6 octets; anything
+    else is carried as truncated/padded UTF-8 (the simulation uses
+    readable ids).
+    """
+    parts = client_id.split(":")
+    if len(parts) == 6 and all(len(part) == 2 for part in parts):
+        try:
+            raw = bytes(int(part, 16) for part in parts)
+            return raw.ljust(16, b"\x00")
+        except ValueError:
+            pass
+    raw = client_id.encode("utf-8")[:16]
+    return raw.ljust(16, b"\x00")
+
+
+def encode(message: DhcpMessage, *, transaction_id: int = 0) -> bytes:
+    """Encode a message to RFC 2131 wire format."""
+    op = _OP_REPLY if message.message_type in _REPLY_TYPES else _OP_REQUEST
+    yiaddr = int(message.your_address) if message.your_address is not None else 0
+    header = struct.pack(
+        "!BBBBIHHIIII16s64s128s",
+        op,
+        _HTYPE_ETHERNET,
+        6,              # hlen
+        0,              # hops
+        transaction_id,
+        0,              # secs
+        0,              # flags
+        0,              # ciaddr
+        yiaddr,
+        0,              # siaddr
+        0,              # giaddr
+        _client_id_to_chaddr(message.client_id),
+        b"",            # sname
+        b"",            # file
+    )
+    out = bytearray(header)
+    out += MAGIC_COOKIE
+    _append_option(out, DhcpOptionCode.MESSAGE_TYPE, bytes([int(message.message_type)]))
+    # The client id travels as option 61 so decode() can recover it
+    # even for non-MAC ids.
+    _append_option(out, DhcpOptionCode.CLIENT_IDENTIFIER, message.client_id.encode("utf-8"))
+    for code in message.options:
+        if code in (DhcpOptionCode.MESSAGE_TYPE, DhcpOptionCode.CLIENT_IDENTIFIER):
+            continue
+        _append_option(out, code, _encode_option_value(code, message.options.get(code)))
+    if message.server_id is not None:
+        if DhcpOptionCode.SERVER_IDENTIFIER not in message.options:
+            _append_option(
+                out, DhcpOptionCode.SERVER_IDENTIFIER, message.server_id.encode("utf-8")
+            )
+    out.append(_END)
+    return bytes(out)
+
+
+def _append_option(out: bytearray, code: DhcpOptionCode, value: bytes) -> None:
+    if len(value) > 255:
+        raise DhcpWireError(f"option {code.name} value longer than 255 octets")
+    out.append(int(code))
+    out.append(len(value))
+    out += value
+
+
+def _encode_option_value(code: DhcpOptionCode, value) -> bytes:
+    if code in (DhcpOptionCode.HOST_NAME, DhcpOptionCode.DOMAIN_NAME, DhcpOptionCode.VENDOR_CLASS):
+        return str(value).encode("utf-8")
+    if code == DhcpOptionCode.SERVER_IDENTIFIER:
+        return str(value).encode("utf-8")
+    if code in (DhcpOptionCode.REQUESTED_IP, DhcpOptionCode.ROUTER, DhcpOptionCode.SUBNET_MASK):
+        return ipaddress.IPv4Address(value).packed
+    if code == DhcpOptionCode.LEASE_TIME:
+        return struct.pack("!I", int(value))
+    if code == DhcpOptionCode.CLIENT_FQDN:
+        fqdn: ClientFqdn = value
+        flags = 0
+        if fqdn.server_updates:
+            flags |= 0x01  # S
+        if fqdn.no_server_update:
+            flags |= 0x08  # N
+        # RCODE1/RCODE2 are deprecated and sent as zero.
+        return bytes([flags, 0, 0]) + fqdn.fqdn.encode("utf-8")
+    if code == DhcpOptionCode.PARAMETER_REQUEST_LIST:
+        return bytes(int(c) for c in value)
+    if isinstance(value, bytes):
+        return value
+    return str(value).encode("utf-8")
+
+
+def decode(wire: bytes) -> Tuple[DhcpMessage, int]:
+    """Decode a packet; returns (message, transaction_id)."""
+    fixed = struct.calcsize("!BBBBIHHIIII16s64s128s")
+    if len(wire) < fixed + 4:
+        raise DhcpWireError("packet shorter than the fixed BOOTP header")
+    (
+        op, htype, hlen, hops, transaction_id, secs, flags,
+        ciaddr, yiaddr, siaddr, giaddr, chaddr, sname, file_,
+    ) = struct.unpack_from("!BBBBIHHIIII16s64s128s", wire, 0)
+    if wire[fixed : fixed + 4] != MAGIC_COOKIE:
+        raise DhcpWireError("missing DHCP magic cookie")
+
+    options = OptionSet()
+    message_type: Optional[MessageType] = None
+    client_id: Optional[str] = None
+    server_id: Optional[str] = None
+    position = fixed + 4
+    while position < len(wire):
+        code = wire[position]
+        position += 1
+        if code == _PAD:
+            continue
+        if code == _END:
+            break
+        if position >= len(wire):
+            raise DhcpWireError("truncated option header")
+        length = wire[position]
+        position += 1
+        if position + length > len(wire):
+            raise DhcpWireError("option value runs past end of packet")
+        value = wire[position : position + length]
+        position += length
+        try:
+            option_code = DhcpOptionCode(code)
+        except ValueError:
+            continue  # unknown options are skipped, per robustness rule
+        if option_code == DhcpOptionCode.MESSAGE_TYPE:
+            if length != 1:
+                raise DhcpWireError("message-type option must be 1 octet")
+            message_type = MessageType(value[0])
+        elif option_code == DhcpOptionCode.CLIENT_IDENTIFIER:
+            client_id = value.decode("utf-8", "replace")
+        elif option_code == DhcpOptionCode.SERVER_IDENTIFIER:
+            server_id = value.decode("utf-8", "replace")
+            options.set(option_code, server_id)
+        else:
+            options.set(option_code, _decode_option_value(option_code, value))
+    if message_type is None:
+        raise DhcpWireError("packet carries no message-type option")
+    if client_id is None:
+        client_id = chaddr.rstrip(b"\x00").decode("utf-8", "replace")
+
+    your_address = ipaddress.IPv4Address(yiaddr) if yiaddr else None
+    message = DhcpMessage(
+        message_type=message_type,
+        client_id=client_id,
+        options=options,
+        your_address=your_address,
+        server_id=server_id,
+    )
+    return message, transaction_id
+
+
+def _decode_option_value(code: DhcpOptionCode, value: bytes):
+    if code in (DhcpOptionCode.HOST_NAME, DhcpOptionCode.DOMAIN_NAME, DhcpOptionCode.VENDOR_CLASS):
+        return value.decode("utf-8", "replace")
+    if code in (DhcpOptionCode.REQUESTED_IP, DhcpOptionCode.ROUTER, DhcpOptionCode.SUBNET_MASK):
+        if len(value) != 4:
+            raise DhcpWireError(f"option {code.name} must be 4 octets")
+        return ipaddress.IPv4Address(value)
+    if code == DhcpOptionCode.LEASE_TIME:
+        if len(value) != 4:
+            raise DhcpWireError("lease-time option must be 4 octets")
+        return struct.unpack("!I", value)[0]
+    if code == DhcpOptionCode.CLIENT_FQDN:
+        if len(value) < 3:
+            raise DhcpWireError("client-FQDN option too short")
+        flags = value[0]
+        return ClientFqdn(
+            fqdn=value[3:].decode("utf-8", "replace"),
+            server_updates=bool(flags & 0x01),
+            no_server_update=bool(flags & 0x08),
+        )
+    if code == DhcpOptionCode.PARAMETER_REQUEST_LIST:
+        return [c for c in value]
+    return bytes(value)

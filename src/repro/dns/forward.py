@@ -1,0 +1,124 @@
+"""Forward zones with dynamic update.
+
+The paper's future work notes that "forward DNS data ... can also be
+dynamically updated by DHCP servers" (Section 10), and RFC 4702's S
+flag exists precisely so a client can ask the server to maintain its
+A record.  :class:`ForwardZone` mirrors :class:`~repro.dns.zone.ReverseZone`
+for name->address mappings so the IPAM bridge can keep both sides of
+the DNS in sync — and so the forward side of the leak can be studied
+with the same tooling.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.dns.errors import ZoneError
+from repro.dns.name import DomainName
+from repro.dns.rcode import Rcode, RecordType
+from repro.dns.records import DEFAULT_PTR_TTL, ResourceRecord, SoaData
+
+
+class ForwardZone:
+    """A forward zone holding dynamically updated A records."""
+
+    def __init__(
+        self,
+        origin: str,
+        *,
+        primary_ns: str = "ns1.example.net",
+        contact: str = "hostmaster.example.net",
+        default_ttl: int = DEFAULT_PTR_TTL,
+    ):
+        self.origin = DomainName.parse(origin)
+        if self.origin.is_root:
+            raise ZoneError("a forward zone needs a non-root origin")
+        self.default_ttl = default_ttl
+        self._a: Dict[DomainName, ipaddress.IPv4Address] = {}
+        self._soa = SoaData(
+            mname=DomainName.parse(primary_ns),
+            rname=DomainName.parse(contact),
+            serial=1,
+        )
+
+    @property
+    def serial(self) -> int:
+        return self._soa.serial
+
+    @property
+    def soa_record(self) -> ResourceRecord:
+        return ResourceRecord(self.origin, RecordType.SOA, self._soa, self.default_ttl)
+
+    def _bump_serial(self) -> None:
+        self._soa = SoaData(
+            mname=self._soa.mname,
+            rname=self._soa.rname,
+            serial=self._soa.serial + 1,
+            refresh=self._soa.refresh,
+            retry=self._soa.retry,
+            expire=self._soa.expire,
+            minimum=self._soa.minimum,
+        )
+
+    def _require_in_zone(self, hostname: str) -> DomainName:
+        name = DomainName.parse(hostname)
+        if not name.is_subdomain_of(self.origin):
+            raise ZoneError(f"{name} is not under {self.origin}")
+        return name
+
+    # -- dynamic update -----------------------------------------------------
+
+    def set_a(self, hostname: str, address) -> DomainName:
+        """Add or replace the A record for ``hostname``."""
+        name = self._require_in_zone(hostname)
+        ip = ipaddress.IPv4Address(address)
+        if self._a.get(name) != ip:
+            self._a[name] = ip
+            self._bump_serial()
+        return name
+
+    def remove_a(self, hostname: str) -> bool:
+        """Remove the A record; True if one existed."""
+        name = self._require_in_zone(hostname)
+        if name in self._a:
+            del self._a[name]
+            self._bump_serial()
+            return True
+        return False
+
+    # -- queries --------------------------------------------------------------
+
+    def get_address(self, hostname: str) -> Optional[ipaddress.IPv4Address]:
+        try:
+            name = self._require_in_zone(hostname)
+        except ZoneError:
+            return None
+        return self._a.get(name)
+
+    def lookup(self, name: DomainName, rtype: RecordType) -> Tuple[Rcode, List[ResourceRecord]]:
+        if not name.is_subdomain_of(self.origin):
+            raise ZoneError(f"{name} is not under {self.origin}")
+        if name == self.origin and rtype == RecordType.SOA:
+            return Rcode.NOERROR, [self.soa_record]
+        address = self._a.get(name)
+        if address is None:
+            return Rcode.NXDOMAIN, []
+        if rtype != RecordType.A:
+            return Rcode.NOERROR, []
+        return Rcode.NOERROR, [
+            ResourceRecord(name, RecordType.A, address, self.default_ttl)
+        ]
+
+    def entries(self) -> Iterator[Tuple[DomainName, ipaddress.IPv4Address]]:
+        for name in sorted(self._a):
+            yield name, self._a[name]
+
+    def __len__(self) -> int:
+        return len(self._a)
+
+    def __contains__(self, hostname: object) -> bool:
+        try:
+            return DomainName.parse(str(hostname)) in self._a
+        except Exception:
+            return False

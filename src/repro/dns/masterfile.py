@@ -1,0 +1,106 @@
+"""RFC 1035 master-file (zone file) export and import.
+
+Lets reverse and forward zones be dumped to the conventional
+presentation format — so simulated zone state can be inspected with
+standard tooling habits — and loaded back, preserving content.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import List, TextIO, Union
+
+from repro.dns.errors import ZoneError
+from repro.dns.forward import ForwardZone
+from repro.dns.name import DomainName, from_reverse_pointer
+from repro.dns.zone import ReverseZone
+
+Zone = Union[ReverseZone, ForwardZone]
+
+
+def dump_zone(zone: Zone) -> str:
+    """The zone's content in master-file presentation format."""
+    lines = [
+        f"$ORIGIN {zone.origin.to_text()}",
+        f"$TTL {zone.default_ttl}",
+        zone.soa_record.to_text(),
+    ]
+    if isinstance(zone, ReverseZone):
+        for record in zone.records():
+            lines.append(record.to_text())
+    else:
+        for name, address in zone.entries():
+            lines.append(f"{name.to_text()} {zone.default_ttl} IN A {address}")
+    return "\n".join(lines) + "\n"
+
+
+def write_zone(zone: Zone, stream: TextIO) -> int:
+    """Write the zone to a text stream; returns characters written."""
+    text = dump_zone(zone)
+    stream.write(text)
+    return len(text)
+
+
+def _tokenize(line: str) -> List[str]:
+    comment = line.find(";")
+    if comment >= 0:
+        line = line[:comment]
+    return line.split()
+
+
+def load_reverse_zone(text: str, prefix: str) -> ReverseZone:
+    """Parse a master file back into a :class:`ReverseZone`.
+
+    Only PTR records are imported (SOA is regenerated; the serial
+    restarts, as it would on a fresh zone transfer into a new server).
+    """
+    zone = ReverseZone(prefix)
+    default_ttl = zone.default_ttl
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        tokens = _tokenize(raw)
+        if not tokens:
+            continue
+        if tokens[0] == "$ORIGIN":
+            origin = DomainName.parse(tokens[1])
+            if origin != zone.origin:
+                raise ZoneError(
+                    f"line {line_number}: $ORIGIN {origin} does not match zone {zone.origin}"
+                )
+            continue
+        if tokens[0] == "$TTL":
+            default_ttl = int(tokens[1])
+            continue
+        if len(tokens) < 5:
+            raise ZoneError(f"line {line_number}: malformed record {raw!r}")
+        name_text, ttl_text, rclass, rtype = tokens[:4]
+        if rclass.upper() != "IN":
+            raise ZoneError(f"line {line_number}: unsupported class {rclass!r}")
+        if rtype.upper() == "SOA":
+            continue
+        if rtype.upper() != "PTR":
+            raise ZoneError(f"line {line_number}: unsupported type {rtype!r} in reverse zone")
+        name = DomainName.parse(name_text)
+        address = from_reverse_pointer(name)
+        hostname = tokens[4].rstrip(".")
+        zone.set_ptr(address, hostname, ttl=int(ttl_text) if ttl_text.isdigit() else default_ttl)
+    return zone
+
+
+def load_forward_zone(text: str, origin: str) -> ForwardZone:
+    """Parse a master file back into a :class:`ForwardZone`."""
+    zone = ForwardZone(origin)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        tokens = _tokenize(raw)
+        if not tokens or tokens[0] in ("$ORIGIN", "$TTL"):
+            continue
+        if len(tokens) < 5:
+            raise ZoneError(f"line {line_number}: malformed record {raw!r}")
+        name_text, _, rclass, rtype = tokens[:4]
+        if rclass.upper() != "IN":
+            raise ZoneError(f"line {line_number}: unsupported class {rclass!r}")
+        if rtype.upper() == "SOA":
+            continue
+        if rtype.upper() != "A":
+            raise ZoneError(f"line {line_number}: unsupported type {rtype!r} in forward zone")
+        zone.set_a(name_text.rstrip("."), ipaddress.IPv4Address(tokens[4]))
+    return zone

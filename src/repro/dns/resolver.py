@@ -1,0 +1,139 @@
+"""A stub resolver that queries authoritative servers directly.
+
+The paper's reactive measurement "queries the authoritative name server
+for the IP address in question directly, to make sure we get a fresh
+answer (i.e., not from a cache)" (Section 6.1).  :class:`StubResolver`
+models exactly that: a delegation map routes each reverse name to the
+serving :class:`~repro.dns.server.AuthoritativeServer`; timeouts are
+retried up to a configurable count, and the outcome is folded into a
+:class:`ResolutionStatus` that matches the error classes of Figure 6.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dns.errors import NoSuchZoneError
+from repro.dns.message import DnsMessage
+from repro.dns.name import DomainName, IPAddress, reverse_pointer
+from repro.dns.rcode import Rcode, RecordType
+from repro.dns.server import AuthoritativeServer
+
+DEFAULT_TIMEOUT_SECONDS = 5.0
+DEFAULT_RETRIES = 1
+
+
+class ResolutionStatus(enum.Enum):
+    """Outcome classes, matching the paper's Figure 6 categories."""
+
+    NOERROR = "noerror"
+    NXDOMAIN = "nxdomain"
+    SERVFAIL = "servfail"
+    TIMEOUT = "timeout"
+    NO_SERVER = "no_server"
+
+    @property
+    def is_error(self) -> bool:
+        return self is not ResolutionStatus.NOERROR
+
+
+@dataclass(frozen=True)
+class ResolutionResult:
+    """The outcome of one PTR resolution."""
+
+    query_name: DomainName
+    status: ResolutionStatus
+    hostname: Optional[str] = None
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ResolutionStatus.NOERROR
+
+
+class StubResolver:
+    """Routes PTR queries to the responsible authoritative server."""
+
+    def __init__(
+        self,
+        *,
+        timeout_seconds: float = DEFAULT_TIMEOUT_SECONDS,
+        retries: int = DEFAULT_RETRIES,
+    ):
+        if timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.timeout_seconds = timeout_seconds
+        self.retries = retries
+        self._delegations: Dict[DomainName, AuthoritativeServer] = {}
+        self._msg_ids = itertools.count(1)
+        self.queries_sent = 0
+
+    def delegate(self, server: AuthoritativeServer) -> None:
+        """Register every zone origin served by ``server``."""
+        for zone in server.zones():
+            self._delegations[zone.origin] = server
+
+    def delegate_origin(self, origin: DomainName, server: AuthoritativeServer) -> None:
+        self._delegations[origin] = server
+
+    def server_for(self, name: DomainName) -> Optional[AuthoritativeServer]:
+        """Longest-origin-match delegation lookup."""
+        best_origin: Optional[DomainName] = None
+        best_server: Optional[AuthoritativeServer] = None
+        for origin, server in self._delegations.items():
+            if name.is_subdomain_of(origin):
+                if best_origin is None or len(origin) > len(best_origin):
+                    best_origin, best_server = origin, server
+        return best_server
+
+    def resolve_name(self, name: DomainName) -> ResolutionResult:
+        """Resolve a PTR query for an arbitrary reverse name."""
+        server = self.server_for(name)
+        if server is None:
+            return ResolutionResult(name, ResolutionStatus.NO_SERVER)
+        attempts = 0
+        elapsed = 0.0
+        response: Optional[DnsMessage] = None
+        for _ in range(self.retries + 1):
+            attempts += 1
+            self.queries_sent += 1
+            query = DnsMessage.query(name, RecordType.PTR, msg_id=next(self._msg_ids))
+            try:
+                response = server.handle(query)
+            except NoSuchZoneError:
+                response = query.response(Rcode.REFUSED)
+            if response is not None:
+                break
+            elapsed += self.timeout_seconds
+        if response is None:
+            return ResolutionResult(name, ResolutionStatus.TIMEOUT, attempts=attempts, elapsed_seconds=elapsed)
+        if response.rcode is Rcode.NXDOMAIN:
+            status = ResolutionStatus.NXDOMAIN
+        elif response.rcode is Rcode.NOERROR and response.answers:
+            status = ResolutionStatus.NOERROR
+        elif response.rcode is Rcode.NOERROR:
+            # NODATA for PTR behaves like a missing record for our purposes.
+            status = ResolutionStatus.NXDOMAIN
+        else:
+            status = ResolutionStatus.SERVFAIL
+        hostname: Optional[str] = None
+        if status is ResolutionStatus.NOERROR:
+            hostname = response.answers[0].rdata_text().rstrip(".")
+        return ResolutionResult(name, status, hostname, attempts, elapsed)
+
+    def resolve_ptr(self, address: IPAddress) -> ResolutionResult:
+        """Resolve the PTR record for an IP address.
+
+        This is the operation the rDNS scanners perform: reverse the
+        address and ask the authoritative server for a fresh answer.
+        """
+        return self.resolve_name(reverse_pointer(address))
+
+    def resolve_many(self, addresses: List[IPAddress]) -> List[ResolutionResult]:
+        return [self.resolve_ptr(address) for address in addresses]

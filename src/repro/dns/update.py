@@ -1,0 +1,164 @@
+"""RFC 2136 DNS UPDATE.
+
+Real DHCP/IPAM deployments do not reach into zone data structures —
+they send DNS UPDATE messages to the primary authoritative server.
+This module provides both halves:
+
+* :func:`build_ptr_update` / :func:`build_ptr_delete` construct UPDATE
+  messages (opcode 5) with the zone section in the question slot and
+  the changes in the authority-section update slot, per RFC 2136;
+* :class:`UpdateHandler` applies decoded UPDATE messages to a
+  :class:`~repro.dns.zone.ReverseZone`, enforcing zone matching
+  (NOTAUTH for foreign zones) and record-class semantics (ANY-class
+  deletion, IN-class addition).
+
+:class:`DnsUpdateClient` wraps the round trip — encode, ship through a
+server's ``handle_update``, check the response — so the IPAM bridge can
+run on the real protocol path end to end (including the wire format).
+"""
+
+from __future__ import annotations
+
+from repro.dns.message import DnsMessage, Question
+from repro.dns.name import ROOT as _EMPTY_PTR_RDATA
+from repro.dns.name import IPAddress, from_reverse_pointer, reverse_pointer
+from repro.dns.rcode import Opcode, Rcode, RecordClass, RecordType
+from repro.dns.records import DEFAULT_PTR_TTL, ResourceRecord, make_ptr
+from repro.dns.zone import ReverseZone
+
+#: RFC 2136 extends the rcode space; NOTAUTH (9) does not fit the
+#: 4-bit header field of our Rcode enum subset, so REFUSED stands in
+#: for it on the wire while the handler reports the distinction.
+NOTAUTH_EQUIVALENT = Rcode.REFUSED
+
+
+def build_ptr_update(
+    zone_origin,
+    address: IPAddress,
+    hostname: str,
+    *,
+    ttl: int = DEFAULT_PTR_TTL,
+    msg_id: int = 0,
+    replace: bool = True,
+) -> DnsMessage:
+    """An UPDATE message setting the PTR for ``address``.
+
+    With ``replace`` (the common DHCP-server behaviour), a delete-RRset
+    update for the name precedes the add, so stale values are swept.
+    """
+    message = DnsMessage(msg_id=msg_id, opcode=Opcode.UPDATE)
+    message.questions = [Question(zone_origin, RecordType.SOA, RecordClass.IN)]
+    name = reverse_pointer(address)
+    if replace:
+        # Class ANY + TTL 0 + empty rdata = "delete all RRs of this
+        # name and type" (RFC 2136 §2.5.2).  Empty rdata is modelled as
+        # the root name for PTR.
+        message.authority.append(
+            ResourceRecord(
+                name,
+                RecordType.PTR,
+                _EMPTY_PTR_RDATA,
+                ttl=0,
+                rclass=RecordClass.ANY,
+            )
+        )
+    message.authority.append(make_ptr(address, hostname, ttl))
+    return message
+
+
+def build_ptr_delete(zone_origin, address: IPAddress, *, msg_id: int = 0) -> DnsMessage:
+    """An UPDATE message removing all PTR data for ``address``."""
+    message = DnsMessage(msg_id=msg_id, opcode=Opcode.UPDATE)
+    message.questions = [Question(zone_origin, RecordType.SOA, RecordClass.IN)]
+    message.authority.append(
+        ResourceRecord(
+            reverse_pointer(address),
+            RecordType.PTR,
+            _EMPTY_PTR_RDATA,
+            ttl=0,
+            rclass=RecordClass.ANY,
+        )
+    )
+    return message
+
+
+
+class UpdateHandler:
+    """Applies UPDATE messages to one reverse zone."""
+
+    def __init__(self, zone: ReverseZone):
+        self.zone = zone
+        self.updates_applied = 0
+        self.updates_rejected = 0
+
+    def handle(self, message: DnsMessage, *, at: int = 0) -> DnsMessage:
+        """Process one UPDATE; returns the RFC 2136 response."""
+        if message.opcode is not Opcode.UPDATE:
+            return message.response(Rcode.NOTIMP)
+        if not message.questions:
+            self.updates_rejected += 1
+            return message.response(Rcode.FORMERR)
+        zone_name = message.questions[0].name
+        if zone_name != self.zone.origin:
+            self.updates_rejected += 1
+            return message.response(NOTAUTH_EQUIVALENT)
+        # Validate every update record before applying any (RFC 2136
+        # prescribes atomicity).
+        operations = []
+        for record in message.authority:
+            if record.rtype is not RecordType.PTR:
+                self.updates_rejected += 1
+                return message.response(Rcode.FORMERR)
+            try:
+                ip = from_reverse_pointer(record.name)
+            except Exception:
+                self.updates_rejected += 1
+                return message.response(Rcode.FORMERR)
+            if not self.zone.covers(ip):
+                self.updates_rejected += 1
+                return message.response(NOTAUTH_EQUIVALENT)
+            operations.append((record, ip))
+        for record, ip in operations:
+            if record.rclass is RecordClass.ANY:
+                self.zone.remove_ptr(ip, at=at)
+            else:
+                self.zone.set_ptr(ip, record.rdata_text().rstrip("."), at=at, ttl=record.ttl)
+        self.updates_applied += 1
+        response = message.response(Rcode.NOERROR)
+        response.authoritative = True
+        return response
+
+
+class DnsUpdateClient:
+    """The DHCP-server side: ships UPDATE messages over the wire."""
+
+    def __init__(self, handler: UpdateHandler, *, use_wire_format: bool = True):
+        self.handler = handler
+        self.use_wire_format = use_wire_format
+        self._msg_id = 0
+        self.updates_sent = 0
+
+    def _next_id(self) -> int:
+        self._msg_id = (self._msg_id + 1) % 65536
+        return self._msg_id
+
+    def _ship(self, message: DnsMessage, at: int) -> Rcode:
+        self.updates_sent += 1
+        if self.use_wire_format:
+            # Full protocol path: encode, decode, apply, encode, decode.
+            delivered = DnsMessage.from_wire(message.to_wire())
+            response = self.handler.handle(delivered, at=at)
+            return DnsMessage.from_wire(response.to_wire()).rcode
+        return self.handler.handle(message, at=at).rcode
+
+    def set_ptr(
+        self, address: IPAddress, hostname: str, *, at: int = 0, ttl: int = DEFAULT_PTR_TTL
+    ) -> Rcode:
+        message = build_ptr_update(
+            self.handler.zone.origin, address, hostname, ttl=ttl, msg_id=self._next_id()
+        )
+        return self._ship(message, at)
+
+    def remove_ptr(self, address: IPAddress, *, at: int = 0) -> Rcode:
+        message = build_ptr_delete(self.handler.zone.origin, address, msg_id=self._next_id())
+        return self._ship(message, at)

@@ -1,0 +1,212 @@
+"""Authoritative reverse zones with dynamic update and a change journal.
+
+A :class:`ReverseZone` is the DNS-side endpoint of the DHCP/IPAM
+coupling the paper studies: IPAM systems add a PTR record when a lease
+is bound and remove (or revert) it when the lease is released or
+expires.  Every mutation bumps the SOA serial and is appended to a
+journal, so measurements and analyses can be validated against zone
+ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.dns.errors import ZoneError
+from repro.dns.name import (
+    DomainName,
+    IPAddress,
+    from_reverse_pointer,
+    reverse_zone_origin,
+)
+from repro.dns.rcode import Rcode, RecordType
+from repro.dns.records import DEFAULT_PTR_TTL, ResourceRecord, SoaData, make_ptr
+
+
+class ZoneChangeKind(enum.Enum):
+    ADD = "add"
+    REMOVE = "remove"
+    REPLACE = "replace"
+
+
+@dataclass(frozen=True)
+class ZoneChange:
+    """One journal entry: a PTR added, removed or replaced at ``at``."""
+
+    at: int
+    kind: ZoneChangeKind
+    address: ipaddress.IPv4Address
+    old_hostname: Optional[str]
+    new_hostname: Optional[str]
+
+
+class ReverseZone:
+    """A reverse (``in-addr.arpa``) zone for one IPv4 prefix.
+
+    PTR content is keyed by IP address.  ``lookup`` answers like an
+    authoritative server data-path would: NOERROR with records,
+    NXDOMAIN for in-zone names with no data, and raises
+    :class:`ZoneError` for out-of-zone names (the server maps that to
+    REFUSED).
+    """
+
+    def __init__(
+        self,
+        prefix: Union[str, ipaddress.IPv4Network],
+        *,
+        primary_ns: str = "ns1.example.net",
+        contact: str = "hostmaster.example.net",
+        default_ttl: int = DEFAULT_PTR_TTL,
+    ):
+        self.prefix = ipaddress.IPv4Network(prefix)
+        self.origin = reverse_zone_origin(self.prefix)
+        self.default_ttl = default_ttl
+        self._ptr: Dict[ipaddress.IPv4Address, ResourceRecord] = {}
+        self._journal: List[ZoneChange] = []
+        self._soa = SoaData(
+            mname=DomainName.parse(primary_ns),
+            rname=DomainName.parse(contact),
+            serial=1,
+        )
+
+    # -- identity -------------------------------------------------------
+
+    @property
+    def serial(self) -> int:
+        return self._soa.serial
+
+    @property
+    def soa_record(self) -> ResourceRecord:
+        return ResourceRecord(self.origin, RecordType.SOA, self._soa, self.default_ttl)
+
+    def covers(self, address: IPAddress) -> bool:
+        return ipaddress.ip_address(address) in self.prefix
+
+    def is_authoritative_for(self, name: DomainName) -> bool:
+        return name.is_subdomain_of(self.origin)
+
+    def _require_covered(self, address: IPAddress) -> ipaddress.IPv4Address:
+        ip = ipaddress.ip_address(address)
+        if ip not in self.prefix:
+            raise ZoneError(f"{ip} is outside zone prefix {self.prefix}")
+        return ip
+
+    def _bump_serial(self) -> None:
+        self._soa = SoaData(
+            mname=self._soa.mname,
+            rname=self._soa.rname,
+            serial=self._soa.serial + 1,
+            refresh=self._soa.refresh,
+            retry=self._soa.retry,
+            expire=self._soa.expire,
+            minimum=self._soa.minimum,
+        )
+
+    # -- dynamic update ---------------------------------------------------
+
+    def set_ptr(
+        self,
+        address: IPAddress,
+        hostname: str,
+        *,
+        at: int = 0,
+        ttl: Optional[int] = None,
+    ) -> ZoneChange:
+        """Add or replace the PTR record for ``address``.
+
+        Replacing with an identical hostname is a no-op journal-wise but
+        is still accepted (DHCP renewals re-assert the record).
+        """
+        ip = self._require_covered(address)
+        record = make_ptr(ip, hostname, ttl if ttl is not None else self.default_ttl)
+        previous = self._ptr.get(ip)
+        old_hostname = previous.rdata_text().rstrip(".") if previous else None
+        new_hostname = record.rdata_text().rstrip(".")
+        if previous is not None and old_hostname == new_hostname:
+            change = ZoneChange(at, ZoneChangeKind.REPLACE, ip, old_hostname, new_hostname)
+            return change
+        self._ptr[ip] = record
+        self._bump_serial()
+        kind = ZoneChangeKind.REPLACE if previous is not None else ZoneChangeKind.ADD
+        change = ZoneChange(at, kind, ip, old_hostname, new_hostname)
+        self._journal.append(change)
+        return change
+
+    def remove_ptr(self, address: IPAddress, *, at: int = 0) -> Optional[ZoneChange]:
+        """Remove the PTR record for ``address``; None if there was none."""
+        ip = self._require_covered(address)
+        previous = self._ptr.pop(ip, None)
+        if previous is None:
+            return None
+        self._bump_serial()
+        change = ZoneChange(
+            at, ZoneChangeKind.REMOVE, ip, previous.rdata_text().rstrip("."), None
+        )
+        self._journal.append(change)
+        return change
+
+    # -- queries ----------------------------------------------------------
+
+    def get_ptr(self, address: IPAddress) -> Optional[ResourceRecord]:
+        ip = ipaddress.ip_address(address)
+        return self._ptr.get(ip)
+
+    def get_hostname(self, address: IPAddress) -> Optional[str]:
+        record = self.get_ptr(address)
+        if record is None:
+            return None
+        return record.rdata_text().rstrip(".")
+
+    def lookup(self, name: DomainName, rtype: RecordType) -> Tuple[Rcode, List[ResourceRecord]]:
+        """Authoritative data-path lookup.
+
+        Returns (rcode, answer records).  Raises :class:`ZoneError` if
+        the name is not under this zone's origin.
+        """
+        if not self.is_authoritative_for(name):
+            raise ZoneError(f"{name} is not under {self.origin}")
+        if name == self.origin and rtype == RecordType.SOA:
+            return Rcode.NOERROR, [self.soa_record]
+        try:
+            ip = from_reverse_pointer(name)
+        except Exception:
+            return Rcode.NXDOMAIN, []
+        record = self._ptr.get(ip)
+        if record is None:
+            return Rcode.NXDOMAIN, []
+        if rtype != RecordType.PTR:
+            # NODATA: the name exists but holds no data of this type.
+            return Rcode.NOERROR, []
+        return Rcode.NOERROR, [record]
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def journal(self) -> List[ZoneChange]:
+        return list(self._journal)
+
+    def records(self) -> Iterator[ResourceRecord]:
+        """All PTR records, in address order."""
+        for ip in sorted(self._ptr):
+            yield self._ptr[ip]
+
+    def entries(self) -> Iterator[Tuple[ipaddress.IPv4Address, str]]:
+        """(address, hostname) pairs, in address order."""
+        for ip in sorted(self._ptr):
+            yield ip, self._ptr[ip].rdata_text().rstrip(".")
+
+    def __len__(self) -> int:
+        return len(self._ptr)
+
+    def __contains__(self, address: object) -> bool:
+        try:
+            ip = ipaddress.ip_address(address)  # type: ignore[arg-type]
+        except ValueError:
+            return False
+        return ip in self._ptr
+
+    def __repr__(self) -> str:
+        return f"ReverseZone({self.prefix}, {len(self)} PTRs, serial={self.serial})"

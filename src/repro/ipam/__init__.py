@@ -1,0 +1,29 @@
+"""IP Address Management (IPAM): the DHCP-to-DNS bridge.
+
+IPAM systems (Section 2.1) link DHCP and DNS so that "when a client
+requests a DHCP lease and is allocated an IP address, various changes
+to the DNS related to the IP address are made automatically."  This
+package implements that bridge, with the DNS-update policy as an
+explicit, swappable object — because the paper's mitigation discussion
+(Section 8) is precisely about choosing a less-leaky policy.
+"""
+
+from repro.ipam.hostname import sanitize_host_name
+from repro.ipam.policy import (
+    CarryOverPolicy,
+    DnsUpdatePolicy,
+    HashedPolicy,
+    NoUpdatePolicy,
+    StaticTemplatePolicy,
+)
+from repro.ipam.system import IpamSystem
+
+__all__ = [
+    "CarryOverPolicy",
+    "DnsUpdatePolicy",
+    "HashedPolicy",
+    "IpamSystem",
+    "NoUpdatePolicy",
+    "StaticTemplatePolicy",
+    "sanitize_host_name",
+]

@@ -1,0 +1,45 @@
+"""Turning DHCP Host Names into DNS labels.
+
+Device names arrive in DHCP messages in free form ("Brian's iPhone",
+"Brian's Galaxy Note9").  Before an IPAM system can publish them as PTR
+rdata, they must become valid DNS labels; the conventional mapping —
+lower-case, apostrophes dropped, separators collapsed to hyphens — is
+exactly what produces the paper's ``brians-iphone`` and
+``brians-galaxy-note9`` hostnames.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dns.name import MAX_LABEL_LENGTH
+
+_DROP = re.compile(r"[’']")
+_SEPARATORS = re.compile(r"[^a-z0-9]+")
+_HYPHEN_RUNS = re.compile(r"-{2,}")
+
+FALLBACK_LABEL = "host"
+
+
+def sanitize_host_name(raw: str, *, fallback: str = FALLBACK_LABEL) -> str:
+    """Convert a client-provided device name into a single DNS label.
+
+    >>> sanitize_host_name("Brian's iPhone")
+    'brians-iphone'
+    >>> sanitize_host_name("Brian's Galaxy Note9")
+    'brians-galaxy-note9'
+
+    The result is a non-empty, LDH (letters-digits-hyphen) label of at
+    most 63 octets; input with no salvageable characters yields
+    ``fallback``.
+    """
+    label = raw.lower()
+    label = _DROP.sub("", label)
+    label = _SEPARATORS.sub("-", label)
+    label = _HYPHEN_RUNS.sub("-", label)
+    label = label.strip("-")
+    if not label:
+        return fallback
+    if len(label) > MAX_LABEL_LENGTH:
+        label = label[:MAX_LABEL_LENGTH].rstrip("-") or fallback
+    return label

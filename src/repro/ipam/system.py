@@ -1,0 +1,218 @@
+"""The IPAM system: subscribe to lease events, mutate the reverse zone.
+
+This is the automation the paper identifies as the root of the privacy
+exposure: "if changes to the (public) DNS are made as client devices
+join or leave a network, one may be able to infer network dynamics by
+capturing DNS changes" (Section 2.1).
+
+Knobs map to behaviours the measurements observe:
+
+* ``remove_on_release`` / ``remove_on_expiry`` — whether phase-3 events
+  revert the PTR.  Releases produce the ~5-minute peak of Figure 7a,
+  expiries the hour-multiple peaks.
+* ``honor_client_no_update`` — whether a Client FQDN option with the N
+  flag suppresses the update (an open question in the paper's
+  future-work list; defaults to not honouring it, matching the leaks
+  observed in the wild).
+* ``update_delay_seconds`` — processing lag between the DHCP event and
+  the DNS change landing, for fine-grained timing studies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.dhcp.events import LeaseEvent, LeaseEventKind
+from repro.dhcp.server import DhcpServer
+from repro.dns.forward import ForwardZone
+from repro.dns.zone import ReverseZone
+from repro.ipam.policy import DnsUpdatePolicy
+
+FORWARD_ALWAYS = "always"
+FORWARD_CLIENT_REQUESTED = "client-requested"
+FORWARD_NEVER = "never"
+
+
+class IpamSystem:
+    """Mirrors one DHCP server's lease events into one reverse zone."""
+
+    def __init__(
+        self,
+        zone: ReverseZone,
+        policy: DnsUpdatePolicy,
+        *,
+        remove_on_release: bool = True,
+        remove_on_expiry: bool = True,
+        honor_client_no_update: bool = False,
+        update_delay_seconds: int = 0,
+        forward_zone: Optional[ForwardZone] = None,
+        forward_updates: str = FORWARD_ALWAYS,
+        use_rfc2136: bool = False,
+    ):
+        if update_delay_seconds < 0:
+            raise ValueError("update_delay_seconds must be non-negative")
+        if forward_updates not in (FORWARD_ALWAYS, FORWARD_CLIENT_REQUESTED, FORWARD_NEVER):
+            raise ValueError(f"invalid forward_updates mode {forward_updates!r}")
+        self.zone = zone
+        self.policy = policy
+        # Forward DNS can be dynamically updated too (the paper's
+        # Section 10 future work; RFC 4702's S flag exists for it).
+        self.forward_zone = forward_zone
+        self.forward_updates = forward_updates
+        # Route reverse-zone changes through RFC 2136 UPDATE messages
+        # (full wire-format round trip) instead of direct zone calls —
+        # the protocol path real DHCP servers and IPAM systems use.
+        self._update_client = None
+        if use_rfc2136:
+            from repro.dns.update import DnsUpdateClient, UpdateHandler
+
+            self._update_client = DnsUpdateClient(UpdateHandler(zone))
+        self.remove_on_release = remove_on_release
+        self.remove_on_expiry = remove_on_expiry
+        self.honor_client_no_update = honor_client_no_update
+        self.update_delay_seconds = update_delay_seconds
+        self.updates_applied = 0
+        self.updates_suppressed = 0
+        self._pending: List[Tuple[int, LeaseEvent]] = []
+
+    def attach(self, server: DhcpServer) -> "IpamSystem":
+        """Subscribe to ``server``'s lease events; returns self."""
+        server.subscribe(self.on_lease_event)
+        return self
+
+    def provision_static_records(self, *, at: int = 0) -> int:
+        """Pre-create fixed-form PTRs for every address the policy covers.
+
+        Only meaningful for policies with a ``static_hostname_for``;
+        returns the number of records created.  This reproduces the
+        paper's "DHCP but static rDNS" prefixes, which the dynamicity
+        heuristic must *not* flag.
+        """
+        created = 0
+        for address in self.zone.prefix:
+            hostname = self.policy.static_hostname_for(address)
+            if hostname is not None:
+                self.zone.set_ptr(address, hostname, at=at)
+                created += 1
+        return created
+
+    # -- event handling -----------------------------------------------------
+
+    def on_lease_event(self, event: LeaseEvent) -> None:
+        """Handle a lease event, possibly after the configured delay."""
+        if self.update_delay_seconds:
+            self._pending.append((event.at + self.update_delay_seconds, event))
+            return
+        self._apply(event, event.at)
+
+    def flush_pending(self, now: int) -> int:
+        """Apply all delayed updates due at or before ``now``."""
+        due = [(when, event) for when, event in self._pending if when <= now]
+        self._pending = [(when, event) for when, event in self._pending if when > now]
+        for when, event in sorted(due, key=lambda pair: pair[0]):
+            self._apply(event, when)
+        return len(due)
+
+    def _apply(self, event: LeaseEvent, at: int) -> None:
+        if event.kind is LeaseEventKind.BOUND:
+            self._on_bound(event, at)
+        elif event.kind is LeaseEventKind.RENEWED:
+            self._on_renewed(event, at)
+        elif event.kind is LeaseEventKind.RELEASED:
+            if self.remove_on_release:
+                self._revert(event, at)
+        elif event.kind is LeaseEventKind.EXPIRED:
+            if self.remove_on_expiry:
+                self._revert(event, at)
+
+    def _client_opted_out(self, event: LeaseEvent) -> bool:
+        fqdn = event.lease.client_fqdn
+        return fqdn is not None and fqdn.no_server_update
+
+    def _on_bound(self, event: LeaseEvent, at: int) -> None:
+        if self.honor_client_no_update and self._client_opted_out(event):
+            self.updates_suppressed += 1
+            return
+        hostname = self.policy.hostname_for(event.lease)
+        if hostname is None:
+            self.updates_suppressed += 1
+            return
+        self._zone_set(event.lease.address, hostname, at)
+        self.updates_applied += 1
+        self._forward_add(event, hostname)
+
+    def _on_renewed(self, event: LeaseEvent, at: int) -> None:
+        # Renewals re-assert the record; content changes only if the
+        # client changed its Host Name mid-lease.
+        hostname = self.policy.hostname_for(event.lease)
+        if hostname is None:
+            return
+        current = self.zone.get_hostname(event.lease.address)
+        if current != hostname:
+            self._zone_set(event.lease.address, hostname, at)
+            self.updates_applied += 1
+
+    def _forward_wanted(self, event: LeaseEvent) -> bool:
+        if self.forward_zone is None or self.forward_updates == FORWARD_NEVER:
+            return False
+        if self.forward_updates == FORWARD_ALWAYS:
+            return True
+        fqdn = event.lease.client_fqdn
+        return fqdn is not None and fqdn.server_updates
+
+    def _forward_add(self, event: LeaseEvent, hostname: str) -> None:
+        if not self._forward_wanted(event):
+            return
+        try:
+            self.forward_zone.set_a(hostname, event.lease.address)  # type: ignore[union-attr]
+        except Exception:
+            # Hostname outside the forward zone's origin: skip quietly,
+            # as real servers do for out-of-zone names.
+            return
+
+    def _forward_remove(self, event: LeaseEvent) -> None:
+        if self.forward_zone is None:
+            return
+        hostname = self.policy.hostname_for(event.lease)
+        if hostname is None:
+            return
+        try:
+            self.forward_zone.remove_a(hostname)  # type: ignore[union-attr]
+        except Exception:
+            return
+
+    def _revert(self, event: LeaseEvent, at: int) -> None:
+        self._forward_remove(event)
+        static = self.policy.static_hostname_for(event.lease.address)
+        if static is not None:
+            current = self.zone.get_hostname(event.lease.address)
+            if current != static:
+                self._zone_set(event.lease.address, static, at)
+                self.updates_applied += 1
+            return
+        had_record = self.zone.get_ptr(event.lease.address) is not None
+        self._zone_remove(event.lease.address, at)
+        if had_record:
+            self.updates_applied += 1
+
+    def _zone_set(self, address, hostname: str, at: int) -> None:
+        if self._update_client is not None:
+            self._update_client.set_ptr(address, hostname, at=at)
+        else:
+            self.zone.set_ptr(address, hostname, at=at)
+
+    def _zone_remove(self, address, at: int) -> None:
+        if self._update_client is not None:
+            self._update_client.remove_ptr(address, at=at)
+        else:
+            self.zone.remove_ptr(address, at=at)
+
+    @property
+    def rfc2136_updates_sent(self) -> int:
+        return self._update_client.updates_sent if self._update_client else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"IpamSystem(zone={self.zone.prefix}, policy={self.policy!r}, "
+            f"applied={self.updates_applied})"
+        )

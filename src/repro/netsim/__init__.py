@@ -1,0 +1,78 @@
+"""Discrete-event simulation of networks, people and devices.
+
+This package is the substitute for the live Internet the paper
+measures: populations of people with named devices join and leave
+networks on realistic schedules (diurnal cycles, weekends, holidays,
+COVID-19 phases), driving DHCP leases that an IPAM bridge mirrors into
+reverse DNS.  Everything is seeded and deterministic.
+"""
+
+from repro.netsim.engine import SimulationEngine
+from repro.netsim.simtime import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    SimClock,
+    from_datetime,
+    to_datetime,
+    ts,
+)
+from repro.netsim.rng import RngStreams
+from repro.netsim.calendar import (
+    CovidPhase,
+    CovidTimeline,
+    HolidayCalendar,
+    black_friday,
+    cyber_monday,
+    thanksgiving,
+)
+from repro.netsim.device import Device, DeviceModel, DeviceNaming, MODEL_CATALOG
+from repro.netsim.person import Person, PersonGenerator
+from repro.netsim.behavior import PresenceProfile, ProfileKind, Session
+from repro.netsim.network import (
+    IcmpPolicy,
+    Network,
+    NetworkType,
+    Subnet,
+    SubnetRole,
+)
+from repro.netsim.internet import Internet
+from repro.netsim.spec import build_world_from_file, build_world_from_spec, validate_spec
+
+__all__ = [
+    "CovidPhase",
+    "CovidTimeline",
+    "DAY",
+    "Device",
+    "DeviceModel",
+    "DeviceNaming",
+    "HOUR",
+    "HolidayCalendar",
+    "IcmpPolicy",
+    "Internet",
+    "MINUTE",
+    "MODEL_CATALOG",
+    "Network",
+    "NetworkType",
+    "Person",
+    "PersonGenerator",
+    "PresenceProfile",
+    "ProfileKind",
+    "RngStreams",
+    "Session",
+    "SimClock",
+    "SimulationEngine",
+    "Subnet",
+    "SubnetRole",
+    "WEEK",
+    "black_friday",
+    "build_world_from_file",
+    "build_world_from_spec",
+    "cyber_monday",
+    "from_datetime",
+    "thanksgiving",
+    "to_datetime",
+    "ts",
+    "validate_spec",
+]

@@ -1,0 +1,164 @@
+"""Devices and the names they leak.
+
+A device's DHCP Host Name is where the privacy exposure starts: phone
+and computer operating systems fill it with the device name, which by
+default is formed "of the owner's name and make or model (e.g.,
+Brian's iPhone)" (Section 5.2).  The model catalog covers the terms of
+the paper's Figure 3 and the naming styles seen in the wild.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.netsim.behavior import PresenceProfile, ProfileKind, Session
+
+
+class DeviceKind(enum.Enum):
+    PHONE = "phone"
+    TABLET = "tablet"
+    LAPTOP = "laptop"
+    DESKTOP = "desktop"
+    STREAMER = "streamer"
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """One make/model with its default device-name rendering.
+
+    ``possessive_pattern`` renders the OS-default device name given an
+    owner's (capitalised) given name; ``standalone_name`` is the name
+    when no owner personalisation happens.
+    """
+
+    key: str
+    kind: DeviceKind
+    possessive_pattern: str
+    standalone_name: str
+    #: Share of these devices whose DHCP client sends a Host Name at all.
+    sends_host_name_rate: float = 0.9
+    #: Share responding to ICMP echo when the network permits it.
+    icmp_response_rate: float = 0.8
+
+    def possessive_name(self, owner_name: str) -> str:
+        return self.possessive_pattern.format(owner=owner_name.capitalize())
+
+
+#: Catalogue keyed as in Figure 3; weights steer population sampling.
+MODEL_CATALOG: List[Tuple[DeviceModel, float]] = [
+    (DeviceModel("iphone", DeviceKind.PHONE, "{owner}'s iPhone", "iPhone"), 24.0),
+    (DeviceModel("android", DeviceKind.PHONE, "{owner}s-Android", "android-device", icmp_response_rate=0.6), 12.0),
+    (DeviceModel("galaxy-s10", DeviceKind.PHONE, "{owner}s-Galaxy-S10", "Galaxy-S10", icmp_response_rate=0.6), 6.0),
+    (DeviceModel("galaxy-note9", DeviceKind.PHONE, "{owner}s-Galaxy-Note9", "Galaxy-Note9", icmp_response_rate=0.6), 3.0),
+    (DeviceModel("phone", DeviceKind.PHONE, "{owner}s-Phone", "phone"), 6.0),
+    (DeviceModel("ipad", DeviceKind.TABLET, "{owner}'s iPad", "iPad"), 8.0),
+    (DeviceModel("air", DeviceKind.LAPTOP, "{owner}s-Air", "MacBook-Air"), 7.0),
+    (DeviceModel("mbp", DeviceKind.LAPTOP, "{owner}s-MBP", "MacBook-Pro"), 8.0),
+    (DeviceModel("macbook", DeviceKind.LAPTOP, "{owner}s-MacBook", "MacBook"), 4.0),
+    (DeviceModel("dell", DeviceKind.LAPTOP, "{owner}s-Dell-Laptop", "DELL-LAPTOP"), 6.0),
+    (DeviceModel("lenovo", DeviceKind.LAPTOP, "{owner}s-Lenovo", "LENOVO-PC"), 5.0),
+    (DeviceModel("laptop", DeviceKind.LAPTOP, "{owner}s-Laptop", "LAPTOP"), 5.0),
+    (DeviceModel("desktop", DeviceKind.DESKTOP, "{owner}s-Desktop", "DESKTOP-PC", icmp_response_rate=0.9), 4.0),
+    (DeviceModel("chrome", DeviceKind.LAPTOP, "{owner}s-Chromebook", "chromebook"), 3.0),
+    (DeviceModel("roku", DeviceKind.STREAMER, "Roku-{owner}", "Roku-Living-Room", sends_host_name_rate=0.95), 2.0),
+]
+
+_MODEL_BY_KEY = {model.key: model for model, _ in MODEL_CATALOG}
+
+
+def model_by_key(key: str) -> DeviceModel:
+    try:
+        return _MODEL_BY_KEY[key]
+    except KeyError as exc:
+        raise KeyError(f"unknown device model {key!r}") from exc
+
+
+def sample_model(rng: random.Random) -> DeviceModel:
+    models = [model for model, _ in MODEL_CATALOG]
+    weights = [weight for _, weight in MODEL_CATALOG]
+    return rng.choices(models, weights=weights, k=1)[0]
+
+
+class DeviceNaming(enum.Enum):
+    """How the device name (hence the DHCP Host Name) is formed."""
+
+    OWNER_POSSESSIVE = "owner_possessive"  # "Brian's iPhone"
+    STANDALONE = "standalone"              # "Galaxy-S10"
+    GENERIC = "generic"                    # "DESKTOP-4F2K9Q"
+    NONE = "none"                          # no Host Name sent
+
+
+@dataclass
+class Device:
+    """One client device."""
+
+    device_id: str
+    model: DeviceModel
+    naming: DeviceNaming
+    owner_name: Optional[str] = None
+    owner_id: Optional[str] = None
+    profile: PresenceProfile = field(default_factory=lambda: PresenceProfile.of(ProfileKind.OFFICE_WORKER))
+    sends_release: bool = True
+    icmp_responds: bool = True
+    #: Probability of joining any given owner session (phones ~1.0,
+    #: laptops lower: they stay in the bag some days).
+    session_participation: float = 1.0
+    generic_suffix: str = "0000"
+    #: Memo of the last (day, factor) session computation; collection
+    #: passes over the same day hit this instead of re-drawing.
+    _session_cache: Optional[Tuple[int, float, List[Session]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def host_name(self) -> Optional[str]:
+        """The DHCP Host Name this device sends, or None."""
+        if self.naming is DeviceNaming.NONE:
+            return None
+        if self.naming is DeviceNaming.OWNER_POSSESSIVE:
+            if self.owner_name is None:
+                return self.model.standalone_name
+            return self.model.possessive_name(self.owner_name)
+        if self.naming is DeviceNaming.STANDALONE:
+            return self.model.standalone_name
+        return f"DESKTOP-{self.generic_suffix.upper()}"
+
+    def sessions_for_day(self, day: dt.date, rng_streams, factor: float = 1.0) -> List[Session]:
+        """The device's sessions for one day, deterministically.
+
+        Owner-level sessions are drawn from a stream keyed by the owner
+        (so all of one person's devices share them); the device then
+        participates in each with ``session_participation`` drawn from
+        a device-keyed stream.
+        """
+        ordinal = day.toordinal()
+        cached = self._session_cache
+        if cached is not None and cached[0] == ordinal and cached[1] == factor:
+            return cached[2]
+        owner_key = self.owner_id or self.device_id
+        owner_rng = rng_streams.fresh("sessions", owner_key, ordinal)
+        sessions = self.profile.sessions_for_day(day, owner_rng, factor)
+        if sessions and self.session_participation < 1.0:
+            device_rng = rng_streams.fresh("participation", self.device_id, ordinal)
+            sessions = [
+                s for s in sessions if device_rng.random() < self.session_participation
+            ]
+        self._session_cache = (ordinal, factor, sessions)
+        return sessions
+
+    def is_present_on(self, day: dt.date, rng_streams, factor: float = 1.0) -> bool:
+        return bool(self.sessions_for_day(day, rng_streams, factor))
+
+    def is_present_at(self, day: dt.date, offset: int, rng_streams, factor: float = 1.0) -> bool:
+        """Presence at a specific second-of-day.
+
+        This is what a point-in-time snapshot sweep (OpenINTEL queries
+        each address once per day) actually observes.
+        """
+        return any(
+            session.contains(offset)
+            for session in self.sessions_for_day(day, rng_streams, factor)
+        )

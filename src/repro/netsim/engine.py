@@ -1,0 +1,123 @@
+"""A minimal discrete-event simulation engine.
+
+Events are (time, sequence, callback) triples in a binary heap; ties
+break in scheduling order, which keeps runs deterministic.  Components
+(DHCP clients, scanners, sweeps) schedule callbacks; the engine drives
+the :class:`~repro.netsim.simtime.SimClock`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.netsim.simtime import SimClock
+
+Callback = Callable[[], None]
+
+_CANCELLED = object()
+
+
+@dataclass(order=True)
+class _Event:
+    at: int
+    seq: int
+    callback: object = field(compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`SimulationEngine.schedule`; allows cancellation."""
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.callback = _CANCELLED
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.callback is _CANCELLED
+
+    @property
+    def at(self) -> int:
+        return self._event.at
+
+
+class SimulationEngine:
+    """The event loop."""
+
+    def __init__(self, start: int = 0):
+        self.clock = SimClock(start)
+        self._queue: List[_Event] = []
+        self._seq = itertools.count()
+        self.events_run = 0
+
+    @property
+    def now(self) -> int:
+        return self.clock.now
+
+    def schedule(self, at: int, callback: Callback) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``at``."""
+        if at < self.now:
+            raise ValueError(f"cannot schedule in the past ({at} < {self.now})")
+        event = _Event(at, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_in(self, delay: int, callback: Callback) -> EventHandle:
+        """Schedule ``callback`` after a relative delay."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self.now + delay, callback)
+
+    def schedule_every(self, interval: int, callback: Callback, *, until: Optional[int] = None) -> None:
+        """Run ``callback`` periodically, starting one interval from now."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+
+        def tick() -> None:
+            callback()
+            next_at = self.now + interval
+            if until is None or next_at <= until:
+                self.schedule(next_at, tick)
+
+        first = self.now + interval
+        if until is None or first <= until:
+            self.schedule(first, tick)
+
+    def run_until(self, end: int) -> int:
+        """Run all events with ``at <= end``; returns events executed.
+
+        The clock lands on ``end`` afterwards even if the queue empties
+        earlier.
+        """
+        executed = 0
+        while self._queue and self._queue[0].at <= end:
+            event = heapq.heappop(self._queue)
+            if event.callback is _CANCELLED:
+                continue
+            self.clock.advance_to(event.at)
+            event.callback()  # type: ignore[operator]
+            executed += 1
+            self.events_run += 1
+        self.clock.advance_to(max(self.now, end))
+        return executed
+
+    def run(self) -> int:
+        """Run until the queue is exhausted; returns events executed."""
+        executed = 0
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.callback is _CANCELLED:
+                continue
+            self.clock.advance_to(event.at)
+            event.callback()  # type: ignore[operator]
+            executed += 1
+            self.events_run += 1
+        return executed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._queue if event.callback is not _CANCELLED)

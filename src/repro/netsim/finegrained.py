@@ -1,0 +1,224 @@
+"""Event-driven, second-resolution simulation of client activity.
+
+The daily-snapshot path in :mod:`repro.netsim.network` is enough for
+the longitudinal analyses, but the paper's supplemental measurement
+(Section 6) observes *sub-day* dynamics: devices joining, renewing,
+releasing or silently leaving, and the DHCP/IPAM machinery adding and
+removing PTR records in response.  :class:`NetworkRuntime` drives the
+full protocol stack — DHCP client/server, IPAM bridge, reverse zone —
+from the same per-device session schedules the snapshot path uses, on a
+:class:`~repro.netsim.engine.SimulationEngine`.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import ipaddress
+from typing import Dict, List, Optional
+
+from repro.dhcp.client import DhcpClient
+from repro.dhcp.pool import AddressPool
+from repro.dhcp.server import DhcpServer
+from repro.ipam.system import IpamSystem
+from repro.netsim.device import Device
+from repro.netsim.engine import SimulationEngine
+from repro.netsim.network import (
+    RESERVED_LOW_ADDRESSES,
+    IcmpPolicy,
+    Network,
+    Subnet,
+)
+from repro.netsim.simtime import DAY, from_date
+
+DEFAULT_SWEEP_INTERVAL = 300  # expire leases at probe granularity
+
+
+class _SubnetRuntime:
+    """DHCP server + IPAM bridge for one device-backed subnet."""
+
+    def __init__(self, network: Network, subnet: Subnet):
+        self.subnet = subnet
+        reserved = list(subnet.prefix)[:RESERVED_LOW_ADDRESSES]
+        self.pool = AddressPool(subnet.prefix, reserved=reserved)
+        self.server = DhcpServer(
+            self.pool,
+            server_id=f"dhcp.{network.suffix}",
+            lease_time=network.lease_time,
+        )
+        assert subnet.policy is not None
+        self.ipam = IpamSystem(network.zone, subnet.policy).attach(self.server)
+
+
+class NetworkRuntime:
+    """Runs one network's client churn on a simulation engine."""
+
+    def __init__(
+        self,
+        network: Network,
+        engine: SimulationEngine,
+        *,
+        sweep_interval: int = DEFAULT_SWEEP_INTERVAL,
+    ):
+        self.network = network
+        self.engine = engine
+        self.sweep_interval = sweep_interval
+        self._subnets: List[_SubnetRuntime] = [
+            _SubnetRuntime(network, subnet) for subnet in network.device_backed_subnets()
+        ]
+        self._clients: Dict[str, DhcpClient] = {}
+        self._online: Dict[ipaddress.IPv4Address, Device] = {}
+        self._renew_generation: Dict[str, int] = {}
+        self._last_day: Optional[dt.date] = None
+        self.joins = 0
+        self.leaves = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, first_day: dt.date, last_day: dt.date) -> None:
+        """Schedule the simulation from ``first_day`` through ``last_day``.
+
+        Each midnight generates that day's sessions for every device
+        (lazily, to keep the event queue small), and every subnet runs
+        a periodic lease-expiry sweep.
+        """
+        if last_day < first_day:
+            raise ValueError("last_day before first_day")
+        self._last_day = last_day
+        day = first_day
+        while day <= last_day:
+            self.engine.schedule(max(from_date(day), self.engine.now), self._day_generator(day))
+            day += dt.timedelta(days=1)
+        end = from_date(last_day) + DAY
+        for runtime in self._subnets:
+            self._schedule_sweep(runtime, end)
+
+    def _schedule_sweep(self, runtime: _SubnetRuntime, end: int) -> None:
+        def sweep() -> None:
+            runtime.server.expire_leases(self.engine.now)
+            next_at = self.engine.now + self.sweep_interval
+            if next_at <= end:
+                self.engine.schedule(next_at, sweep)
+
+        self.engine.schedule(self.engine.now + self.sweep_interval, sweep)
+
+    def _day_generator(self, day: dt.date):
+        def generate() -> None:
+            midnight = from_date(day)
+            for runtime in self._subnets:
+                factor = self.network.day_factor(day, runtime.subnet)
+                for device in runtime.subnet.devices:
+                    for session in device.sessions_for_day(day, self.network.rngs, factor):
+                        join_at = midnight + session.start
+                        leave_at = midnight + session.end
+                        if join_at < self.engine.now:
+                            continue
+                        self.engine.schedule(join_at, self._join_action(runtime, device))
+                        if session.end == DAY and self._continues_next_day(runtime, device, day):
+                            # Midnight-crossing presence (resident
+                            # evenings into morning tails): one
+                            # uninterrupted connection, no midnight
+                            # release/rebind churn.
+                            continue
+                        self.engine.schedule(leave_at, self._leave_action(runtime, device))
+
+        return generate
+
+    def _continues_next_day(self, runtime: _SubnetRuntime, device: Device, day: dt.date) -> bool:
+        next_day = day + dt.timedelta(days=1)
+        if self._last_day is None or next_day > self._last_day:
+            return False
+        factor = self.network.day_factor(next_day, runtime.subnet)
+        sessions = device.sessions_for_day(next_day, self.network.rngs, factor)
+        return bool(sessions) and sessions[0].start == 0
+
+    # -- join / renew / leave ----------------------------------------------------
+
+    def _client_for(self, device: Device) -> DhcpClient:
+        client = self._clients.get(device.device_id)
+        if client is None:
+            client = DhcpClient(
+                device.device_id,
+                host_name=device.host_name(),
+                sends_release=device.sends_release,
+            )
+            self._clients[device.device_id] = client
+        return client
+
+    def _join_action(self, runtime: _SubnetRuntime, device: Device):
+        def join() -> None:
+            client = self._client_for(device)
+            if client.address is not None:
+                return  # overlapping sessions: already online
+            address = client.join(runtime.server, self.engine.now)
+            if address is None:
+                return  # pool exhausted; device never shows up
+            self._online[address] = device
+            self.joins += 1
+            self._schedule_renewal(runtime, device, client)
+
+        return join
+
+    def _schedule_renewal(self, runtime: _SubnetRuntime, device: Device, client: DhcpClient) -> None:
+        interval = runtime.server.lease_time // 2
+        generation = self._renew_generation.get(device.device_id, 0) + 1
+        self._renew_generation[device.device_id] = generation
+
+        def renew() -> None:
+            if self._renew_generation.get(device.device_id) != generation:
+                return  # a newer session owns the renewal loop
+            if client.address is None or self._online.get(client.address) is not device:
+                return  # left the network; stop renewing
+            if client.renew(runtime.server, self.engine.now):
+                self.engine.schedule(self.engine.now + interval, renew)
+
+        self.engine.schedule(self.engine.now + interval, renew)
+
+    def _leave_action(self, runtime: _SubnetRuntime, device: Device):
+        def leave() -> None:
+            client = self._clients.get(device.device_id)
+            if client is None or client.address is None:
+                return
+            address = client.address
+            client.leave(runtime.server, self.engine.now)
+            if self._online.get(address) is device:
+                del self._online[address]
+            self.leaves += 1
+
+        return leave
+
+    # -- observability -------------------------------------------------------------
+
+    def online_addresses(self) -> List[ipaddress.IPv4Address]:
+        return list(self._online)
+
+    def is_online(self, address) -> bool:
+        return ipaddress.ip_address(address) in self._online
+
+    def device_at(self, address) -> Optional[Device]:
+        return self._online.get(ipaddress.ip_address(address))
+
+    def is_icmp_responsive(self, address) -> bool:
+        """Would an echo request to ``address`` be answered right now?"""
+        if isinstance(address, ipaddress.IPv4Address):
+            ip = address  # hot path: the sweeper probes millions of times
+        else:
+            ip = ipaddress.ip_address(address)
+        if ip in self.network.icmp_allowlist:
+            return True
+        if self.network.icmp_policy is IcmpPolicy.BLOCK:
+            return False
+        device = self._online.get(ip)
+        return device is not None and device.icmp_responds
+
+
+def build_runtimes(
+    networks: List[Network],
+    engine: SimulationEngine,
+    *,
+    sweep_interval: int = DEFAULT_SWEEP_INTERVAL,
+) -> Dict[str, NetworkRuntime]:
+    """One runtime per network, keyed by network name."""
+    return {
+        network.name: NetworkRuntime(network, engine, sweep_interval=sweep_interval)
+        for network in networks
+    }

@@ -1,0 +1,171 @@
+"""Scripted case-study personas: the Brians of Section 7.1.
+
+Figure 8 of the paper tracks five hostnames containing the given name
+Brian on Academic-A over six weeks: ``brians-air``,
+``brians-galaxy-note9``, ``brians-ipad``, ``brians-mbp`` and
+``brians-phone``.  The paper infers "two or maybe three" distinct
+Brians, notes that ``brians-mbp`` shows "a couple of hours around noon,
+every day" in week two, that phone and mbp leave for the Thanksgiving
+weekend, and that ``brians-galaxy-note9`` first appears on Cyber Monday
+afternoon — a Black-Friday-sale purchase, they speculate.
+
+These persona builders reproduce exactly those behaviours, on top of
+otherwise-ordinary profiles, so the tracking analysis has its ground
+truth.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import List, Optional, Tuple
+
+from repro.netsim.behavior import (
+    OfficeWorkerProfile,
+    ResidentProfile,
+    ScriptedProfile,
+    Session,
+)
+from repro.netsim.calendar import cyber_monday, thanksgiving
+from repro.netsim.device import Device, DeviceNaming, model_by_key
+from repro.netsim.simtime import DAY, HOUR, MINUTE
+
+
+def _noon_session(day: dt.date) -> List[Session]:
+    # "a couple of hours around noon, every day" — week-two mbp pattern.
+    start = 11 * HOUR + (day.toordinal() % 3) * 10 * MINUTE
+    return [Session(start, start + 2 * HOUR + 20 * MINUTE)]
+
+
+def _workday_session(day: dt.date) -> List[Session]:
+    start = 8 * HOUR + 30 * MINUTE + (day.toordinal() % 4) * 15 * MINUTE
+    end = 17 * HOUR + (day.toordinal() % 3) * 20 * MINUTE
+    return [Session(start, end)]
+
+
+def _in_thanksgiving_trip(day: dt.date, year: int) -> bool:
+    """Thursday through Sunday of the Thanksgiving weekend."""
+    start = thanksgiving(year)
+    return start <= day <= start + dt.timedelta(days=3)
+
+
+def make_office_brian(year: int = 2021, *, person_id: str = "brian-office") -> List[Device]:
+    """Brian #1: staff; phone + MacBook Pro on the education subnet.
+
+    Weekday presence, with the MBP settling into the regular
+    around-noon pattern, and both devices gone over Thanksgiving.
+    """
+
+    def phone_script(day: dt.date) -> Optional[List[Session]]:
+        if _in_thanksgiving_trip(day, year):
+            return []
+        if day.weekday() >= 5:
+            return []
+        return _workday_session(day)
+
+    def mbp_script(day: dt.date) -> Optional[List[Session]]:
+        if _in_thanksgiving_trip(day, year):
+            return []
+        if day.weekday() >= 5:
+            return []
+        return _noon_session(day)
+
+    phone = Device(
+        device_id=f"{person_id}-phone",
+        model=model_by_key("phone"),
+        naming=DeviceNaming.OWNER_POSSESSIVE,
+        owner_name="brian",
+        owner_id=f"{person_id}-phone",  # own stream: fully scripted anyway
+        profile=ScriptedProfile(phone_script, default=OfficeWorkerProfile()),
+        sends_release=True,
+        icmp_responds=True,
+    )
+    mbp = Device(
+        device_id=f"{person_id}-mbp",
+        model=model_by_key("mbp"),
+        naming=DeviceNaming.OWNER_POSSESSIVE,
+        owner_name="brian",
+        owner_id=f"{person_id}-mbp",
+        profile=ScriptedProfile(mbp_script, default=OfficeWorkerProfile()),
+        sends_release=False,  # silent leaver: its PTR lingers to lease expiry
+        icmp_responds=True,
+    )
+    return [phone, mbp]
+
+
+def make_resident_brian(year: int = 2021, *, person_id: str = "brian-resident") -> List[Device]:
+    """Brian #2: campus-housing resident; MacBook Air, iPad, and — from
+    Cyber Monday afternoon — a Galaxy Note 9."""
+    note9_first_day = cyber_monday(year)
+
+    def evening_sessions(day: dt.date) -> List[Session]:
+        if _in_thanksgiving_trip(day, year):
+            return []
+        start = 17 * HOUR + 30 * MINUTE + (day.toordinal() % 5) * 12 * MINUTE
+        sessions = [Session(start, DAY)]
+        if day.weekday() >= 5:
+            sessions.insert(0, Session(9 * HOUR, 13 * HOUR))
+        return sessions
+
+    def air_script(day: dt.date) -> Optional[List[Session]]:
+        return evening_sessions(day)
+
+    def ipad_script(day: dt.date) -> Optional[List[Session]]:
+        sessions = evening_sessions(day)
+        # The tablet skips some evenings.
+        if day.toordinal() % 3 == 0:
+            return []
+        return sessions
+
+    def note9_script(day: dt.date) -> Optional[List[Session]]:
+        if day < note9_first_day:
+            return []
+        if day == note9_first_day:
+            # First powered on in the afternoon of Cyber Monday.
+            return [Session(14 * HOUR + 20 * MINUTE, DAY)]
+        return evening_sessions(day)
+
+    air = Device(
+        device_id=f"{person_id}-air",
+        model=model_by_key("air"),
+        naming=DeviceNaming.OWNER_POSSESSIVE,
+        owner_name="brian",
+        owner_id=f"{person_id}-air",
+        profile=ScriptedProfile(air_script, default=ResidentProfile()),
+        sends_release=True,
+        icmp_responds=True,
+    )
+    ipad = Device(
+        device_id=f"{person_id}-ipad",
+        model=model_by_key("ipad"),
+        naming=DeviceNaming.OWNER_POSSESSIVE,
+        owner_name="brian",
+        owner_id=f"{person_id}-ipad",
+        profile=ScriptedProfile(ipad_script, default=ResidentProfile()),
+        sends_release=False,
+        icmp_responds=True,
+    )
+    note9 = Device(
+        device_id=f"{person_id}-note9",
+        model=model_by_key("galaxy-note9"),
+        naming=DeviceNaming.OWNER_POSSESSIVE,
+        owner_name="brian",
+        owner_id=f"{person_id}-note9",
+        profile=ScriptedProfile(note9_script, default=ResidentProfile()),
+        sends_release=True,
+        icmp_responds=True,
+    )
+    return [air, ipad, note9]
+
+
+def make_brian_devices(year: int = 2021) -> Tuple[List[Device], List[Device]]:
+    """(education-subnet devices, housing-subnet devices) for the Brians."""
+    return make_office_brian(year), make_resident_brian(year)
+
+#: The five hostname labels Figure 8 tracks, in its row order.
+BRIAN_HOSTNAME_LABELS = [
+    "brians-air",
+    "brians-galaxy-note9",
+    "brians-ipad",
+    "brians-mbp",
+    "brians-phone",
+]

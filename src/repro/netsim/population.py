@@ -1,0 +1,377 @@
+"""Population builders: whole networks of people, devices and records.
+
+These factories assemble :class:`~repro.netsim.network.Network` objects
+of the types the paper identifies (academic, ISP, enterprise,
+government, other), including the static content — server farms,
+router-level infrastructure names with city words, vanity hosts — that
+the Section 5.1 filtering steps must see through.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.datasets.terms import CITY_NAMES_WITH_GIVEN_NAME_OVERLAP, PLAIN_CITY_NAMES
+from repro.ipam.policy import CarryOverPolicy, DnsUpdatePolicy, StaticTemplatePolicy
+from repro.netsim.behavior import ProfileKind
+from repro.netsim.calendar import CovidTimeline, HolidayCalendar
+from repro.netsim.device import Device
+from repro.netsim.network import (
+    IcmpPolicy,
+    Network,
+    NetworkType,
+    Subnet,
+    SubnetRole,
+)
+from repro.netsim.person import Person, PersonGenerator
+from repro.netsim.rng import RngStreams
+
+StaticEntry = Tuple[ipaddress.IPv4Address, str]
+
+_SERVER_LABELS = [
+    "www", "mail", "smtp", "imap", "ns1", "ns2", "vpn", "proxy",
+    "lb1", "lb2", "db1", "db2", "backup", "monitor", "git", "wiki",
+]
+
+_ROUTER_INTERFACES = ["xe-0-0-0", "xe-1-0-1", "ge-0-1-0", "ae1", "ae2", "te-2-0-0", "eth0"]
+_ROUTER_ROLES = ["core1", "core2", "edge1", "edge2", "border1", "gw1", "gw2"]
+_ROUTER_LOCATIONS = (
+    ["north", "south", "east", "west"]
+    + PLAIN_CITY_NAMES
+    + CITY_NAMES_WITH_GIVEN_NAME_OVERLAP
+)
+
+
+def make_server_entries(prefix: str, suffix: str, *, count: Optional[int] = None) -> List[StaticEntry]:
+    """Fixed records for a server subnet (www, mail, ns1, srvNN...)."""
+    network = ipaddress.IPv4Network(prefix)
+    addresses = list(network)[1:-1]
+    labels = list(_SERVER_LABELS)
+    total = count if count is not None else min(len(addresses), len(labels) + 16)
+    while len(labels) < total:
+        labels.append(f"srv{len(labels):02d}")
+    return [
+        (addresses[index], f"{labels[index]}.{suffix}")
+        for index in range(min(total, len(addresses)))
+    ]
+
+
+def make_infrastructure_entries(
+    prefix: str, suffix: str, rng: random.Random, *, count: int = 24
+) -> List[StaticEntry]:
+    """Router-level records in the style the literature decodes.
+
+    These deliberately contain location words — including city names
+    like ``jackson`` that collide with given names — so that the
+    analysis' generic-term exclusion and suffix thresholds (Section
+    5.1, "Dealing with City Names") have realistic confounders.
+    """
+    network = ipaddress.IPv4Network(prefix)
+    addresses = list(network)[1:-1]
+    entries: List[StaticEntry] = []
+    for index in range(min(count, len(addresses))):
+        interface = rng.choice(_ROUTER_INTERFACES)
+        role = rng.choice(_ROUTER_ROLES)
+        location = rng.choice(_ROUTER_LOCATIONS)
+        entries.append((addresses[index], f"{interface}.{role}.{location}.{suffix}"))
+    return entries
+
+
+def make_vanity_entries(
+    prefix: str, suffix: str, rng: random.Random, *, count: int = 8
+) -> List[StaticEntry]:
+    """Static hosts named after people (vanity boxes, legacy hosting).
+
+    Such records carry given names but sit in *static* space, so they
+    appear among Figure 2's "all matches" and must be excluded from
+    the filtered set by the dynamicity requirement.  Names follow the
+    SSA popularity weighting, as real name usage does.
+    """
+    from repro.datasets.names import name_popularity_weights
+
+    network = ipaddress.IPv4Network(prefix)
+    addresses = list(network)[1:-1]
+    weights = name_popularity_weights()
+    names = list(weights)
+    name_weights = [weights[name] for name in names]
+    entries: List[StaticEntry] = []
+    for index in range(min(count, len(addresses))):
+        name = rng.choices(names, weights=name_weights, k=1)[0]
+        style = rng.choice(
+            [
+                "{name}", "{name}-pc", "{name}-ws", "{name}-desk", "{name}{n}",
+                # Static boxes named after owner and device class: these
+                # put device terms into Figure 3's "all matches" series
+                # without being dynamic.
+                "{name}-laptop", "{name}-desktop", "{name}-macbook",
+            ]
+        )
+        label = style.format(name=name, n=rng.randrange(1, 99))
+        entries.append((addresses[index], f"{label}.{suffix}"))
+    return entries
+
+
+def _take_devices(people: Iterable[Person]) -> List[Device]:
+    return [device for person in people for device in person.devices]
+
+
+class NetworkBuilder:
+    """Assembles the standard network archetypes.
+
+    One builder per simulated world; it owns the RNG streams and hands
+    each network a distinct sub-stream so worlds are reproducible.
+    """
+
+    def __init__(self, rngs: RngStreams):
+        self.rngs = rngs
+
+    def _generator(self, network_name: str, **kwargs) -> PersonGenerator:
+        return PersonGenerator(self.rngs.stream("population", network_name), **kwargs)
+
+    def academic(
+        self,
+        name: str,
+        prefix: str,
+        suffix: str,
+        *,
+        education_prefix: str,
+        housing_prefix: Optional[str] = None,
+        servers_prefix: Optional[str] = None,
+        infrastructure_prefix: Optional[str] = None,
+        staff: int = 40,
+        students: int = 80,
+        residents: int = 100,
+        lease_time: int = 3600,
+        icmp_policy: IcmpPolicy = IcmpPolicy.ALLOW,
+        covid: Optional[CovidTimeline] = None,
+        us_campus: bool = True,
+        housing_response: str = "shelter",
+        policy: Optional[DnsUpdatePolicy] = None,
+        extra_education_devices: Sequence[Device] = (),
+        extra_housing_devices: Sequence[Device] = (),
+    ) -> Network:
+        """A campus: education buildings, optional housing, servers."""
+        generator = self._generator(name)
+        policy = policy or CarryOverPolicy(suffix)
+        holidays = HolidayCalendar(
+            observes_thanksgiving=us_campus, observes_carnaval=not us_campus
+        )
+        network = Network(
+            name,
+            NetworkType.ACADEMIC,
+            prefix,
+            suffix,
+            icmp_policy=icmp_policy,
+            lease_time=lease_time,
+            housing_response=housing_response,
+            holidays=holidays,
+            covid=covid or CovidTimeline.typical_university(),
+            rngs=self.rngs,
+        )
+        education_people = generator.make_population(
+            staff, id_prefix=f"{name}-staff", profile_kind=ProfileKind.OFFICE_WORKER
+        ) + generator.make_population(
+            students, id_prefix=f"{name}-stu", profile_kind=ProfileKind.STUDENT
+        )
+        education_devices = _take_devices(education_people) + list(extra_education_devices)
+        network.add_subnet(
+            Subnet(education_prefix, SubnetRole.EDUCATION, devices=education_devices, policy=policy)
+        )
+        if housing_prefix is not None:
+            housing_people = generator.make_population(
+                residents, id_prefix=f"{name}-res", profile_kind=ProfileKind.RESIDENT
+            )
+            housing_devices = _take_devices(housing_people) + list(extra_housing_devices)
+            network.add_subnet(
+                Subnet(housing_prefix, SubnetRole.HOUSING, devices=housing_devices, policy=policy)
+            )
+        if servers_prefix is not None:
+            network.add_subnet(
+                Subnet(
+                    servers_prefix,
+                    SubnetRole.STATIC_SERVERS,
+                    static_entries=make_server_entries(servers_prefix, suffix),
+                )
+            )
+        if infrastructure_prefix is not None:
+            network.add_subnet(
+                Subnet(
+                    infrastructure_prefix,
+                    SubnetRole.INFRASTRUCTURE,
+                    static_entries=make_infrastructure_entries(
+                        infrastructure_prefix, f"net.{suffix}", self.rngs.stream("infra", name)
+                    ),
+                )
+            )
+        return network
+
+    def enterprise(
+        self,
+        name: str,
+        prefix: str,
+        suffix: str,
+        *,
+        office_prefix: str,
+        servers_prefix: Optional[str] = None,
+        employees: int = 60,
+        lease_time: int = 3600,
+        icmp_policy: IcmpPolicy = IcmpPolicy.ALLOW,
+        covid: Optional[CovidTimeline] = None,
+        policy: Optional[DnsUpdatePolicy] = None,
+        net_type: NetworkType = NetworkType.ENTERPRISE,
+    ) -> Network:
+        """An office network of 9-to-5 workers."""
+        generator = self._generator(name)
+        policy = policy or CarryOverPolicy(suffix)
+        network = Network(
+            name,
+            net_type,
+            prefix,
+            suffix,
+            icmp_policy=icmp_policy,
+            lease_time=lease_time,
+            holidays=HolidayCalendar(observes_thanksgiving=True, fall_break=False),
+            covid=covid or CovidTimeline.late_lockdown_enterprise(),
+            rngs=self.rngs,
+        )
+        people = generator.make_population(
+            employees, id_prefix=f"{name}-emp", profile_kind=ProfileKind.OFFICE_WORKER
+        )
+        network.add_subnet(
+            Subnet(office_prefix, SubnetRole.DYNAMIC_CLIENTS, devices=_take_devices(people), policy=policy)
+        )
+        if servers_prefix is not None:
+            network.add_subnet(
+                Subnet(
+                    servers_prefix,
+                    SubnetRole.STATIC_SERVERS,
+                    static_entries=make_server_entries(servers_prefix, suffix),
+                )
+            )
+        return network
+
+    def government(self, name: str, prefix: str, suffix: str, **kwargs) -> Network:
+        """Government office: an enterprise under a .gov suffix."""
+        kwargs.setdefault("net_type", NetworkType.GOVERNMENT)
+        return self.enterprise(name, prefix, suffix, **kwargs)
+
+    def isp(
+        self,
+        name: str,
+        prefix: str,
+        suffix: str,
+        *,
+        access_prefix: str,
+        infrastructure_prefix: Optional[str] = None,
+        subscribers: int = 80,
+        lease_time: int = 3600,
+        icmp_response_rate: float = 0.35,
+        carry_over_names: bool = True,
+        covid: Optional[CovidTimeline] = None,
+    ) -> Network:
+        """A residential access network.
+
+        ``carry_over_names=False`` models the common ISP practice of
+        fixed-form pool names (``client-1-2-3-4.dsl.example.net``) —
+        dynamic DHCP, but no identity leak.
+        ``icmp_response_rate`` models CPE behaviour: the paper's ISP-B
+        and ISP-C see under 2% responsiveness.
+        """
+        generator = self._generator(name, release_rate=0.6)
+        if carry_over_names:
+            policy: DnsUpdatePolicy = CarryOverPolicy(suffix)
+        else:
+            policy = StaticTemplatePolicy(suffix, template="client-{dashed}")
+        network = Network(
+            name,
+            NetworkType.ISP,
+            prefix,
+            suffix,
+            icmp_policy=IcmpPolicy.ALLOW,
+            lease_time=lease_time,
+            holidays=HolidayCalendar(fall_break=False, christmas_break=False),
+            covid=covid or CovidTimeline.none(),
+            rngs=self.rngs,
+        )
+        people = generator.make_population(
+            subscribers, id_prefix=f"{name}-sub", profile_kind=ProfileKind.RESIDENT
+        )
+        devices = _take_devices(people)
+        rng = self.rngs.stream("isp-icmp", name)
+        for device in devices:
+            device.icmp_responds = rng.random() < icmp_response_rate
+        network.add_subnet(
+            Subnet(access_prefix, SubnetRole.DYNAMIC_CLIENTS, devices=devices, policy=policy)
+        )
+        if infrastructure_prefix is not None:
+            network.add_subnet(
+                Subnet(
+                    infrastructure_prefix,
+                    SubnetRole.INFRASTRUCTURE,
+                    static_entries=make_infrastructure_entries(
+                        infrastructure_prefix, suffix, self.rngs.stream("infra", name), count=40
+                    ),
+                )
+            )
+        return network
+
+    def background(
+        self,
+        name: str,
+        prefix: str,
+        suffix: str,
+        *,
+        static_24s: int = 4,
+        dynamic_24s: int = 2,
+        dynamic_mean: int = 60,
+        vanity: bool = False,
+        vanity_hosting_24s: int = 0,
+    ) -> Network:
+        """Background space for Internet-scale realism (Figure 1).
+
+        Static /24s carry infrastructure (and optionally vanity)
+        records; dynamic /24s are count-backed with template names, so
+        they register as dynamic without leaking identities.
+        ``vanity_hosting_24s`` adds legacy static-hosting /24s densely
+        populated with person-named records — the static name mass that
+        separates Figure 2's "all matches" from its filtered series.
+        """
+        from repro.netsim.network import CountModel
+
+        network = Network(
+            name, NetworkType.OTHER, prefix, suffix, rngs=self.rngs
+        )
+        slash24s = list(ipaddress.IPv4Network(prefix).subnets(new_prefix=24))
+        rng = self.rngs.stream("background", name)
+        needed = static_24s + dynamic_24s + vanity_hosting_24s
+        if needed > len(slash24s):
+            raise ValueError(f"{prefix} holds only {len(slash24s)} /24s, need {needed}")
+        chosen = rng.sample(slash24s, needed)
+        for index, subnet_prefix in enumerate(chosen[:static_24s]):
+            if vanity and index == 0:
+                entries = make_vanity_entries(str(subnet_prefix), suffix, rng)
+            else:
+                entries = make_infrastructure_entries(str(subnet_prefix), suffix, rng)
+            network.add_subnet(
+                Subnet(str(subnet_prefix), SubnetRole.INFRASTRUCTURE, static_entries=entries)
+            )
+        for subnet_prefix in chosen[static_24s + dynamic_24s:]:
+            entries = make_vanity_entries(
+                str(subnet_prefix), f"hosting.{suffix}", rng, count=180
+            )
+            network.add_subnet(
+                Subnet(str(subnet_prefix), SubnetRole.STATIC_SERVERS, static_entries=entries)
+            )
+        for subnet_prefix in chosen[static_24s:static_24s + dynamic_24s]:
+            mean = max(12, int(rng.gauss(dynamic_mean, dynamic_mean * 0.3)))
+            network.add_subnet(
+                Subnet(
+                    str(subnet_prefix),
+                    SubnetRole.DYNAMIC_CLIENTS,
+                    count_model=CountModel(mean=min(mean, 220)),
+                    count_suffix=f"dyn.{suffix}",
+                )
+            )
+        return network

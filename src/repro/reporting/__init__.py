@@ -1,0 +1,11 @@
+"""Text rendering of the paper's tables and figures.
+
+The benchmark harness prints every reproduced table and figure through
+these renderers, so ``pytest benchmarks/`` output can be compared
+side-by-side with the paper.
+"""
+
+from repro.reporting.tables import TextTable
+from repro.reporting.series import render_bar_chart, render_cdf, render_time_series
+
+__all__ = ["TextTable", "render_bar_chart", "render_cdf", "render_time_series"]

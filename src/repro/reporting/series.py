@@ -1,0 +1,81 @@
+"""ASCII renderers for figure-style data: bars, CDFs, time series."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+_BAR = "#"
+
+
+def render_bar_chart(
+    values: Mapping[object, float],
+    *,
+    width: int = 50,
+    log_note: bool = False,
+    sort_desc: bool = False,
+) -> str:
+    """Horizontal bars, one per key.
+
+    ``sort_desc`` orders by value (largest first); otherwise insertion
+    order is preserved (e.g. Figure 2's popularity ordering).
+    """
+    items: List[Tuple[object, float]] = list(values.items())
+    if sort_desc:
+        items.sort(key=lambda pair: pair[1], reverse=True)
+    if not items:
+        return "(empty)"
+    peak = max(value for _, value in items) or 1.0
+    label_width = max(len(str(key)) for key, _ in items)
+    lines = []
+    if log_note:
+        lines.append("(value scale; the paper plots this log-scaled)")
+    for key, value in items:
+        bar = _BAR * max(0, int(round(width * value / peak)))
+        if value > 0 and not bar:
+            bar = _BAR
+        lines.append(f"{str(key):<{label_width}} | {bar} {value:,.0f}".rstrip())
+    return "\n".join(lines)
+
+
+def render_cdf(
+    points_by_series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    checkpoints: Sequence[float] = (5, 15, 30, 60, 120),
+) -> str:
+    """Tabulated CDF values at checkpoint x-values, one row per series."""
+    header = "series".ljust(16) + "".join(f"{f'<={int(cp)}m':>9}" for cp in checkpoints)
+    lines = [header, "-" * len(header)]
+    for name, points in points_by_series.items():
+        cells = []
+        for checkpoint in checkpoints:
+            fraction = 0.0
+            for x, y in points:
+                if x <= checkpoint:
+                    fraction = y
+                else:
+                    break
+            cells.append(f"{100 * fraction:>8.1f}%")
+        lines.append(f"{name:<16}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_time_series(
+    series_by_name: Mapping[str, Mapping[object, float]],
+    *,
+    samples: int = 26,
+) -> str:
+    """Downsampled rows of (x, value) per series for longitudinal data."""
+    lines = []
+    for name, series in series_by_name.items():
+        keys = sorted(series)
+        if not keys:
+            lines.append(f"{name}: (empty)")
+            continue
+        step = max(1, len(keys) // samples)
+        sampled = keys[::step]
+        lines.append(f"{name}:")
+        for key in sampled:
+            value = series[key]
+            bar = _BAR * int(round(value / 4))
+            lines.append(f"  {key} {value:6.1f} {bar}".rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Measurement infrastructure.
+
+Implements the three data-collection instruments of the paper:
+
+* :mod:`repro.scan.snapshot` — full-address-space rDNS snapshot
+  collectors at daily (OpenINTEL-style) and weekly (Rapid7-style)
+  cadence (Section 3, Table 1);
+* :mod:`repro.scan.icmp` — a ZMap-style ICMP sweeper with rate limiting
+  and an opt-out blocklist (Section 6.1);
+* :mod:`repro.scan.reactive` — the reactive fine-grained measurement
+  with the Table 2 back-off schedule, orchestrated per Figure 5;
+* :mod:`repro.scan.campaign` — the supplemental campaign tying the
+  above together against the nine selected networks.
+"""
+
+from repro.scan.observations import (
+    IcmpObservation,
+    RdnsObservation,
+    read_icmp_csv,
+    read_rdns_csv,
+    write_icmp_csv,
+    write_rdns_csv,
+)
+from repro.scan.ratelimit import TokenBucket
+from repro.scan.icmp import IcmpScanner
+from repro.scan.rdns import RdnsLookupEngine
+from repro.scan.snapshot import SnapshotCollector, SnapshotSeries, SnapshotStats
+from repro.scan.reactive import BackoffSchedule, ReactiveMonitor
+from repro.scan.campaign import SupplementalCampaign, SupplementalDataset
+from repro.scan.persistence import load_dataset, save_dataset
+
+__all__ = [
+    "BackoffSchedule",
+    "IcmpObservation",
+    "IcmpScanner",
+    "RdnsLookupEngine",
+    "RdnsObservation",
+    "ReactiveMonitor",
+    "SnapshotCollector",
+    "SnapshotSeries",
+    "SnapshotStats",
+    "SupplementalCampaign",
+    "SupplementalDataset",
+    "TokenBucket",
+    "load_dataset",
+    "read_icmp_csv",
+    "read_rdns_csv",
+    "save_dataset",
+    "write_icmp_csv",
+    "write_rdns_csv",
+]

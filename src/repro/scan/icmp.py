@@ -1,0 +1,113 @@
+"""A ZMap-style ICMP sweeper.
+
+"We use Zmap for the ICMP measurements. Zmap allows us to easily
+implement rate limiting and IP address blocklisting. The blocklisting
+capability is used to allow subjects to opt-out. ... Zmap only includes
+hosts that were reachable in its output." (Section 6.1)
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.netsim.finegrained import NetworkRuntime
+from repro.scan.observations import IcmpObservation
+from repro.scan.ratelimit import TokenBucket
+
+
+class IcmpScanner:
+    """Sweeps target prefixes against live network runtimes."""
+
+    def __init__(
+        self,
+        runtimes: Dict[str, NetworkRuntime],
+        *,
+        rate_limit: Optional[TokenBucket] = None,
+        blocklist: Iterable = (),
+    ):
+        self._runtimes = dict(runtimes)
+        self.rate_limit = rate_limit
+        self._blocklist: Set[ipaddress.IPv4Address] = set()
+        for entry in blocklist:
+            self.add_to_blocklist(entry)
+        self.probes_sent = 0
+        self.probes_suppressed = 0
+        self._target_cache: Dict[str, tuple] = {}
+
+    # -- blocklist (the opt-out mechanism) ---------------------------------
+
+    def add_to_blocklist(self, entry) -> None:
+        """Opt an address or a whole prefix out of the measurement."""
+        try:
+            self._blocklist.add(ipaddress.IPv4Address(entry))
+        except ValueError:
+            network = ipaddress.IPv4Network(entry)
+            self._blocklist.update(network)
+
+    def is_blocked(self, address) -> bool:
+        return ipaddress.ip_address(address) in self._blocklist
+
+    # -- probing ------------------------------------------------------------
+
+    def _runtime_for(self, address: ipaddress.IPv4Address) -> Optional[NetworkRuntime]:
+        for runtime in self._runtimes.values():
+            if address in runtime.network.prefix:
+                return runtime
+        return None
+
+    def probe(self, address, at: int, *, network: str = "") -> Optional[IcmpObservation]:
+        """One echo request; an observation only if the host responded."""
+        ip = ipaddress.ip_address(address)
+        if ip in self._blocklist:
+            self.probes_suppressed += 1
+            return None
+        if self.rate_limit is not None and not self.rate_limit.acquire(at):
+            self.probes_suppressed += 1
+            return None
+        self.probes_sent += 1
+        runtime = self._runtime_for(ip)
+        if runtime is None or not runtime.is_icmp_responsive(ip):
+            return None
+        return IcmpObservation(ip, at, network or runtime.network.name)
+
+    def sweep(self, targets: Iterable, at: int, *, network: str = "") -> List[IcmpObservation]:
+        """Probe every address in the target prefixes; responders only.
+
+        ``targets`` may mix prefixes and single addresses, like a ZMap
+        target list.  The per-target runtime and address list are
+        cached: a supplemental campaign sweeps the same prefixes every
+        hour for weeks.
+        """
+        observations: List[IcmpObservation] = []
+        for target in targets:
+            runtime, addresses = self._target_plan(target)
+            for address in addresses:
+                if self._blocklist and address in self._blocklist:
+                    self.probes_suppressed += 1
+                    continue
+                if self.rate_limit is not None and not self.rate_limit.acquire(at):
+                    self.probes_suppressed += 1
+                    continue
+                self.probes_sent += 1
+                if runtime is not None and runtime.is_icmp_responsive(address):
+                    observations.append(
+                        IcmpObservation(address, at, network or runtime.network.name)
+                    )
+        return observations
+
+    def _target_plan(self, target):
+        plan = self._target_cache.get(str(target))
+        if plan is None:
+            addresses = list(self._iter_target(target))
+            runtime = self._runtime_for(addresses[0]) if addresses else None
+            plan = (runtime, addresses)
+            self._target_cache[str(target)] = plan
+        return plan
+
+    @staticmethod
+    def _iter_target(target):
+        try:
+            yield ipaddress.IPv4Address(target)
+        except ValueError:
+            yield from ipaddress.IPv4Network(target)

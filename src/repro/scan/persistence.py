@@ -1,0 +1,75 @@
+"""Saving and loading supplemental datasets.
+
+A campaign over weeks of simulated time is worth keeping: this module
+persists a :class:`~repro.scan.campaign.SupplementalDataset` as a
+directory of CSVs (the format the paper's tooling writes) plus a JSON
+metadata file, and loads it back for offline analysis.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.netsim.network import NetworkType
+from repro.scan.campaign import SupplementalDataset
+from repro.scan.observations import (
+    read_icmp_csv,
+    read_rdns_csv,
+    write_icmp_csv,
+    write_rdns_csv,
+)
+
+PathLike = Union[str, Path]
+
+_META_FILE = "dataset.json"
+_ICMP_FILE = "icmp.csv"
+_RDNS_FILE = "rdns.csv"
+FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: SupplementalDataset, directory: PathLike) -> Path:
+    """Write the dataset into ``directory`` (created if needed)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    write_icmp_csv(path / _ICMP_FILE, dataset.icmp)
+    write_rdns_csv(path / _RDNS_FILE, dataset.rdns)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "start": dataset.start.isoformat(),
+        "end": dataset.end.isoformat(),
+        "targets_by_network": dataset.targets_by_network,
+        "network_types": {
+            name: net_type.value for name, net_type in dataset.network_types.items()
+        },
+        "target_sizes": dataset.target_sizes,
+    }
+    (path / _META_FILE).write_text(json.dumps(meta, indent=2, sort_keys=True))
+    return path
+
+
+def load_dataset(directory: PathLike) -> SupplementalDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(directory)
+    meta_path = path / _META_FILE
+    if not meta_path.exists():
+        raise FileNotFoundError(f"{meta_path} not found; not a saved dataset")
+    meta = json.loads(meta_path.read_text())
+    version = meta.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version {version!r}")
+    return SupplementalDataset(
+        start=dt.date.fromisoformat(meta["start"]),
+        end=dt.date.fromisoformat(meta["end"]),
+        icmp=read_icmp_csv(path / _ICMP_FILE),
+        rdns=read_rdns_csv(path / _RDNS_FILE),
+        targets_by_network={
+            name: list(prefixes) for name, prefixes in meta["targets_by_network"].items()
+        },
+        network_types={
+            name: NetworkType(value) for name, value in meta["network_types"].items()
+        },
+        target_sizes={name: int(size) for name, size in meta.get("target_sizes", {}).items()},
+    )

@@ -1,0 +1,54 @@
+"""Token-bucket rate limiting on simulation time.
+
+Both measurement instruments rate-limit: ZMap "allows us to easily
+implement rate limiting", and the rDNS engine "rate-limit[s] requests
+to authoritative name servers to reduce the impact of our measurement"
+(Section 6.1).
+"""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """A classic token bucket driven by explicit timestamps.
+
+    ``rate`` tokens accrue per second up to ``burst``.  ``acquire(now)``
+    consumes a token if available; ``delay_until_available(now)`` tells
+    a scheduler when to retry.
+    """
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one token")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._updated_at = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now < self._updated_at:
+            raise ValueError("time moved backwards")
+        elapsed = now - self._updated_at
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated_at = now
+
+    def acquire(self, now: float, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` at time ``now`` if the bucket allows it."""
+        self._refill(now)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def delay_until_available(self, now: float, tokens: float = 1.0) -> float:
+        """Seconds from ``now`` until ``tokens`` will be available."""
+        self._refill(now)
+        if self._tokens >= tokens:
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def available(self) -> float:
+        return self._tokens

@@ -1,0 +1,58 @@
+"""The reverse-DNS lookup engine.
+
+"For the rDNS measurement we use custom-built software wrapping
+dnspython. We rate-limit requests to authoritative name servers ...
+We query the authoritative name server for the IP address in question
+directly, to make sure we get a fresh answer (i.e., not from a cache)."
+(Section 6.1)
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from collections import Counter
+from typing import Optional
+
+from repro.dns.resolver import ResolutionStatus, StubResolver
+from repro.scan.observations import RdnsObservation
+from repro.scan.ratelimit import TokenBucket
+
+
+class RdnsLookupEngine:
+    """Issues PTR lookups through a stub resolver, with rate limiting."""
+
+    def __init__(self, resolver: StubResolver, *, rate_limit: Optional[TokenBucket] = None):
+        self.resolver = resolver
+        self.rate_limit = rate_limit
+        self.lookups_performed = 0
+        self.lookups_suppressed = 0
+        self.status_counts: Counter = Counter()
+
+    def lookup(self, address, at: int, *, network: str = "") -> Optional[RdnsObservation]:
+        """One PTR lookup; ``None`` only when rate-limited away."""
+        ip = ipaddress.ip_address(address)
+        if self.rate_limit is not None and not self.rate_limit.acquire(at):
+            self.lookups_suppressed += 1
+            return None
+        self.lookups_performed += 1
+        result = self.resolver.resolve_ptr(ip)
+        self.status_counts[result.status] += 1
+        return RdnsObservation(
+            address=ip,
+            at=at,
+            status=result.status,
+            hostname=result.hostname or "",
+            network=network,
+        )
+
+    @property
+    def error_rate(self) -> float:
+        """Share of lookups that did not return a PTR record."""
+        if not self.lookups_performed:
+            return 0.0
+        errors = sum(
+            count
+            for status, count in self.status_counts.items()
+            if status is not ResolutionStatus.NOERROR
+        )
+        return errors / self.lookups_performed

@@ -1,0 +1,233 @@
+"""The reactive fine-grained measurement (Section 6.1, Figure 5).
+
+An hourly ICMP sweep detects clients joining or leaving a network.  A
+newly seen client triggers a *spot* rDNS lookup (to record the PTR
+value) and a reactive ping follow with the Table 2 back-off schedule:
+
+    12 times in the 1st hour at  5-minute intervals
+     6 times in the 2nd hour at 10-minute intervals
+     3 times in the 3rd hour at 20-minute intervals
+     2 times in the 4th hour at 30-minute intervals
+    until the client goes offline at 60-minute intervals
+
+Once the client stops responding, the same schedule drives reactive
+rDNS lookups until the PTR record is observed removed (NXDOMAIN) — the
+moment that, related to the last successful ping, yields the lingering
+times of Figure 7.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.dns.resolver import ResolutionStatus
+from repro.netsim.engine import SimulationEngine
+from repro.netsim.simtime import HOUR, MINUTE
+from repro.scan.icmp import IcmpScanner
+from repro.scan.observations import IcmpObservation, RdnsObservation
+from repro.scan.rdns import RdnsLookupEngine
+
+
+@dataclass(frozen=True)
+class BackoffSchedule:
+    """The probe-interval schedule of the paper's Table 2."""
+
+    steps: Tuple[Tuple[int, int], ...] = (
+        (12, 5 * MINUTE),
+        (6, 10 * MINUTE),
+        (3, 20 * MINUTE),
+        (2, 30 * MINUTE),
+    )
+    tail_interval: int = 60 * MINUTE
+
+    def intervals(self, *, max_tail: Optional[int] = None) -> Iterator[int]:
+        """All probe intervals in order; the tail repeats.
+
+        ``max_tail`` bounds the number of tail repetitions (None means
+        unbounded, as for the ICMP follow that runs until the client
+        goes offline).
+        """
+        for count, interval in self.steps:
+            for _ in range(count):
+                yield interval
+        emitted = 0
+        while max_tail is None or emitted < max_tail:
+            yield self.tail_interval
+            emitted += 1
+
+    def total_scheduled_duration(self) -> int:
+        """Seconds covered by the fixed (non-tail) part of the schedule."""
+        return sum(count * interval for count, interval in self.steps)
+
+
+TABLE2_SCHEDULE = BackoffSchedule()
+
+
+class ReactiveMonitor:
+    """Orchestrates hourly sweeps and per-client reactive follows."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        scanner: IcmpScanner,
+        rdns: RdnsLookupEngine,
+        *,
+        schedule: BackoffSchedule = TABLE2_SCHEDULE,
+        sweep_interval: int = HOUR,
+        phase1_extra_lookups: int = 1,
+        max_rdns_tail: int = 12,
+    ):
+        self.engine = engine
+        self.scanner = scanner
+        self.rdns = rdns
+        self.schedule = schedule
+        self.sweep_interval = sweep_interval
+        self.phase1_extra_lookups = phase1_extra_lookups
+        self.max_rdns_tail = max_rdns_tail
+        self.icmp_observations: List[IcmpObservation] = []
+        self.rdns_observations: List[RdnsObservation] = []
+        self._targets: List[Tuple[str, List[str]]] = []
+        self._online: Dict[ipaddress.IPv4Address, str] = {}
+        self._follow_generation: Dict[ipaddress.IPv4Address, int] = {}
+        self._end: int = 0
+        self.sweeps_run = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, targets_by_network: Dict[str, List[str]], *, end: int) -> None:
+        """Begin sweeping; the first sweep runs immediately."""
+        self._targets = [(name, list(prefixes)) for name, prefixes in targets_by_network.items()]
+        self._end = end
+        self.engine.schedule(self.engine.now, self._sweep)
+
+    # -- hourly sweep -----------------------------------------------------------
+
+    def _sweep(self) -> None:
+        now = self.engine.now
+        self.sweeps_run += 1
+        responders: Dict[ipaddress.IPv4Address, str] = {}
+        for network_name, prefixes in self._targets:
+            for observation in self.scanner.sweep(prefixes, now, network=network_name):
+                responders[observation.address] = network_name
+                self.icmp_observations.append(observation)
+        appeared = set(responders) - set(self._online)
+        disappeared = set(self._online) - set(responders)
+        for address in sorted(appeared):
+            self._on_client_appeared(address, responders[address])
+        for address in sorted(disappeared):
+            self._on_client_disappeared(address, self._online[address])
+        next_at = now + self.sweep_interval
+        if next_at <= self._end:
+            self.engine.schedule(next_at, self._sweep)
+
+    def _bump_generation(self, address: ipaddress.IPv4Address) -> int:
+        generation = self._follow_generation.get(address, 0) + 1
+        self._follow_generation[address] = generation
+        return generation
+
+    def _jitter(self, address: ipaddress.IPv4Address) -> int:
+        """Per-address desynchronisation of the reactive follow.
+
+        A real sweep takes minutes to traverse the target list, so
+        per-address probe chains are not locked to the sweep's hour
+        grid.  Deterministic (hash-of-address) jitter reproduces that:
+        tail-phase probes interleave with sweeps, which is what keeps
+        most departures sharply bracketed (the Table 5 reliability
+        share).
+        """
+        return (int(address) * 2654435761) % 1740
+
+    # -- phase 1: client appeared ------------------------------------------------
+
+    def _on_client_appeared(self, address: ipaddress.IPv4Address, network: str) -> None:
+        self._online[address] = network
+        generation = self._bump_generation(address)
+        # Spot rDNS measurement to record the PTR value.
+        self._do_rdns(address, network)
+        for extra in range(self.phase1_extra_lookups):
+            at = self.engine.now + (extra + 1) * 5 * MINUTE
+            if at <= self._end:
+                self.engine.schedule(at, lambda a=address, n=network: self._do_rdns(a, n))
+        self._schedule_icmp_follow(
+            address,
+            network,
+            generation,
+            self.schedule.intervals(),
+            initial_delay=self._jitter(address),
+        )
+
+    def _schedule_icmp_follow(
+        self,
+        address: ipaddress.IPv4Address,
+        network: str,
+        generation: int,
+        intervals: Iterator[int],
+        initial_delay: int = 0,
+    ) -> None:
+        try:
+            interval = next(intervals)
+        except StopIteration:  # pragma: no cover - tail is unbounded
+            return
+        at = self.engine.now + interval + initial_delay
+
+        def probe() -> None:
+            if self._follow_generation.get(address) != generation:
+                return  # superseded by a newer appearance
+            observation = self.scanner.probe(address, self.engine.now, network=network)
+            if observation is not None:
+                self.icmp_observations.append(observation)
+                self._schedule_icmp_follow(address, network, generation, intervals)
+            else:
+                self._on_client_disappeared(address, network)
+
+        if at <= self._end:
+            self.engine.schedule(at, probe)
+
+    # -- phase 3: client disappeared ------------------------------------------------
+
+    def _on_client_disappeared(self, address: ipaddress.IPv4Address, network: str) -> None:
+        self._online.pop(address, None)
+        generation = self._bump_generation(address)
+        # Start frequent rDNS measurement right at offline detection
+        # (Figure 5); if the record is already gone, the follow is done.
+        immediate = self._do_rdns(address, network)
+        if immediate is not None and immediate.status is ResolutionStatus.NXDOMAIN:
+            return
+        self._schedule_rdns_follow(
+            address,
+            network,
+            generation,
+            self.schedule.intervals(max_tail=self.max_rdns_tail),
+        )
+
+    def _schedule_rdns_follow(
+        self,
+        address: ipaddress.IPv4Address,
+        network: str,
+        generation: int,
+        intervals: Iterator[int],
+    ) -> None:
+        try:
+            interval = next(intervals)
+        except StopIteration:
+            return  # inconclusive: the record outlived our patience
+        at = self.engine.now + interval
+
+        def lookup() -> None:
+            if self._follow_generation.get(address) != generation:
+                return
+            observation = self._do_rdns(address, network)
+            if observation is not None and observation.status is ResolutionStatus.NXDOMAIN:
+                return  # record removed: the follow is complete
+            self._schedule_rdns_follow(address, network, generation, intervals)
+
+        if at <= self._end:
+            self.engine.schedule(at, lookup)
+
+    def _do_rdns(self, address: ipaddress.IPv4Address, network: str) -> Optional[RdnsObservation]:
+        observation = self.rdns.lookup(address, self.engine.now, network=network)
+        if observation is not None:
+            self.rdns_observations.append(observation)
+        return observation

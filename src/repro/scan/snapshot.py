@@ -1,0 +1,162 @@
+"""Full-address-space rDNS snapshot collectors.
+
+Models the two measurement platforms of Section 3: OpenINTEL collects
+*daily* snapshots, Rapid7's Project Sonar *weekly* ones ("a single
+weekday every week").  The paper consumes these as given datasets; the
+collector therefore reads zone state in bulk rather than replaying
+billions of PTR queries, while the reactive instrument
+(:mod:`repro.scan.reactive`) exercises the full resolver path.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.netsim.internet import Internet
+from repro.netsim.network import Network
+from repro.netsim.simtime import days_between
+
+
+@dataclass(frozen=True)
+class SnapshotStats:
+    """One row of the paper's Table 1."""
+
+    name: str
+    start_date: dt.date
+    end_date: dt.date
+    snapshots: int
+    total_responses: int
+    unique_ptrs: int
+
+
+class SnapshotSeries:
+    """The output of one collector over one period.
+
+    Per-day /24 counts are materialised eagerly (they feed the
+    dynamicity heuristic); full per-day record sets are re-derived on
+    demand from the deterministic simulation, mirroring how one would
+    re-read raw snapshot files from disk.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        internet: Internet,
+        networks: Optional[Sequence[str]] = None,
+        *,
+        at_offset: Optional[int] = None,
+    ):
+        self.name = name
+        self._internet = internet
+        self._network_names = list(networks) if networks is not None else None
+        self._at_offset = at_offset
+        self._days: List[dt.date] = []
+        self._counts: Dict[dt.date, Dict[str, int]] = {}
+        self._total_responses = 0
+        self._unique_ptrs: set = set()
+
+    # -- collection (used by SnapshotCollector) ------------------------------
+
+    def _networks(self) -> List[Network]:
+        if self._network_names is None:
+            return self._internet.networks
+        return [self._internet.network(name) for name in self._network_names]
+
+    def _collect_day(self, day: dt.date) -> None:
+        counts: Dict[str, int] = {}
+        for network in self._networks():
+            for key, count in network.counts_by_slash24(day, at_offset=self._at_offset).items():
+                counts[key] = counts.get(key, 0) + count
+            for _, hostname in network.records_on(day, at_offset=self._at_offset):
+                self._unique_ptrs.add(hostname)
+        self._counts[day] = counts
+        self._total_responses += sum(counts.values())
+        self._days.append(day)
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def days(self) -> List[dt.date]:
+        return list(self._days)
+
+    @property
+    def cadence_days(self) -> int:
+        if len(self._days) < 2:
+            return 1
+        return (self._days[1] - self._days[0]).days
+
+    def counts_by_slash24(self, day: dt.date) -> Dict[str, int]:
+        return dict(self._counts[day])
+
+    def daily_totals(self) -> Dict[dt.date, int]:
+        return {day: sum(self._counts[day].values()) for day in self._days}
+
+    def records_on(self, day: dt.date) -> Iterator[Tuple[object, str]]:
+        """Re-derive the full (address, hostname) set for a collected day."""
+        if day not in self._counts:
+            raise KeyError(f"{self.name} holds no snapshot for {day}")
+        for network in self._networks():
+            yield from network.records_on(day, at_offset=self._at_offset)
+
+    def stats(self) -> SnapshotStats:
+        return SnapshotStats(
+            name=self.name,
+            start_date=self._days[0],
+            end_date=self._days[-1],
+            snapshots=len(self._days),
+            total_responses=self._total_responses,
+            unique_ptrs=len(self._unique_ptrs),
+        )
+
+    def __len__(self) -> int:
+        return len(self._days)
+
+
+class SnapshotCollector:
+    """Collects a snapshot series at a fixed cadence."""
+
+    #: Second-of-day at which the daily sweep samples PTR state.  A
+    #: snapshot is a point-in-time measurement: an evening-only client
+    #: whose one-hour lease expired by noon has no record to observe.
+    DEFAULT_SNAPSHOT_OFFSET = 12 * 3600
+
+    def __init__(
+        self,
+        internet: Internet,
+        name: str,
+        *,
+        cadence_days: int = 1,
+        networks: Optional[Sequence[str]] = None,
+        at_offset: Optional[int] = DEFAULT_SNAPSHOT_OFFSET,
+    ):
+        if cadence_days < 1:
+            raise ValueError("cadence_days must be at least 1")
+        self.internet = internet
+        self.name = name
+        self.cadence_days = cadence_days
+        self.networks = networks
+        self.at_offset = at_offset
+
+    @classmethod
+    def openintel_style(cls, internet: Internet, **kwargs) -> "SnapshotCollector":
+        """Daily snapshots (OpenINTEL collects daily)."""
+        return cls(internet, "OpenINTEL", cadence_days=1, **kwargs)
+
+    @classmethod
+    def rapid7_style(cls, internet: Internet, **kwargs) -> "SnapshotCollector":
+        """Weekly snapshots (Rapid7 collects one weekday every week)."""
+        return cls(internet, "Rapid7 Sonar", cadence_days=7, **kwargs)
+
+    def collect(self, start: dt.date, end: dt.date) -> SnapshotSeries:
+        """Collect all snapshots in [start, end)."""
+        if end <= start:
+            raise ValueError("end must be after start")
+        series = SnapshotSeries(
+            self.name, self.internet, self.networks, at_offset=self.at_offset
+        )
+        for index, day in enumerate(days_between(start, end)):
+            if index % self.cadence_days == 0:
+                series._collect_day(day)
+        return series

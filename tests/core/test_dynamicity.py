@@ -1,0 +1,151 @@
+"""Tests for the Section 4.1 dynamicity heuristic."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import DynamicityAnalyzer, DynamicityThresholds
+
+START = dt.date(2021, 1, 1)
+
+
+def series_from(history_by_prefix):
+    """Build a {date: {prefix: count}} mapping from count lists."""
+    days = max(len(history) for history in history_by_prefix.values())
+    series = {}
+    for offset in range(days):
+        day = START + dt.timedelta(days=offset)
+        series[day] = {
+            prefix: history[offset]
+            for prefix, history in history_by_prefix.items()
+            if offset < len(history) and history[offset] > 0
+        }
+    return series
+
+
+class TestThresholds:
+    def test_paper_defaults(self):
+        thresholds = DynamicityThresholds()
+        assert thresholds.min_daily_addresses == 10
+        assert thresholds.change_percent == 10.0
+        assert thresholds.min_change_days == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicityThresholds(min_daily_addresses=0)
+        with pytest.raises(ValueError):
+            DynamicityThresholds(change_percent=0)
+        with pytest.raises(ValueError):
+            DynamicityThresholds(change_percent=150)
+        with pytest.raises(ValueError):
+            DynamicityThresholds(min_change_days=0)
+
+
+class TestStepOne:
+    def test_small_prefixes_discarded(self):
+        # Never more than 10 addresses: dropped in step 1.
+        series = series_from({"10.0.0.0/24": [10, 5, 10, 5] * 10})
+        report = DynamicityAnalyzer().analyze(series)
+        assert report.prefixes == {}
+        assert report.total_observed == 1
+
+    def test_exceeding_minimum_once_is_enough_to_consider(self):
+        series = series_from({"10.0.0.0/24": [11] + [5] * 30})
+        report = DynamicityAnalyzer().analyze(series)
+        assert "10.0.0.0/24" in report.prefixes
+        assert report.prefixes["10.0.0.0/24"].max_daily == 11
+
+
+class TestStepTwoAndThree:
+    def test_static_prefix_not_dynamic(self):
+        series = series_from({"10.0.0.0/24": [100] * 30})
+        report = DynamicityAnalyzer().analyze(series)
+        info = report.prefixes["10.0.0.0/24"]
+        assert info.change_days == 0
+        assert not info.is_dynamic
+
+    def test_dynamic_prefix_detected(self):
+        # Alternating 100/50: 50% change on every transition.
+        series = series_from({"10.0.0.0/24": [100, 50] * 10})
+        report = DynamicityAnalyzer().analyze(series)
+        assert report.is_dynamic("10.0.0.0/24")
+        assert report.dynamic_prefixes() == ["10.0.0.0/24"]
+        assert report.dynamic_count == 1
+
+    def test_six_change_days_is_not_enough(self):
+        # Exactly 6 days with >10% change: below Y=7.
+        history = [100] * 30
+        for index in range(1, 13, 2):  # 6 dips
+            history[index] = 80
+        series = series_from({"10.0.0.0/24": history})
+        report = DynamicityAnalyzer().analyze(series)
+        assert report.prefixes["10.0.0.0/24"].change_days == 12  # each dip: down and up
+        history = [100] * 30
+        history[1] = 80
+        history[3] = 80
+        history[5] = 80
+        series = series_from({"10.0.0.0/24": history})
+        report = DynamicityAnalyzer().analyze(series)
+        assert report.prefixes["10.0.0.0/24"].change_days == 6
+        assert not report.is_dynamic("10.0.0.0/24")
+
+    def test_seven_change_days_is_dynamic(self):
+        # Three isolated dips (2 change days each) plus a final-day dip
+        # (1 change day, no recovery observed) = exactly 7.
+        history = [100] * 30
+        for index in (1, 3, 5, 29):
+            history[index] = 80
+        series = series_from({"10.0.0.0/24": history})
+        report = DynamicityAnalyzer().analyze(series)
+        assert report.prefixes["10.0.0.0/24"].change_days == 7
+        assert report.is_dynamic("10.0.0.0/24")
+
+    def test_change_percent_relative_to_max(self):
+        # Max is 1000, daily swing 50 = 5%: not a change day at X=10.
+        series = series_from({"10.0.0.0/24": [1000, 950] * 10})
+        report = DynamicityAnalyzer().analyze(series)
+        assert report.prefixes["10.0.0.0/24"].change_days == 0
+
+    def test_disappearing_prefix_counts_as_zero(self):
+        # Present one day, absent the next: 100% change.
+        series = series_from({"10.0.0.0/24": [100, 0] * 10})
+        report = DynamicityAnalyzer().analyze(series)
+        assert report.is_dynamic("10.0.0.0/24")
+
+    def test_boundary_change_is_exclusive(self):
+        # Exactly 10% change must NOT count (the paper: "exceeds X%").
+        series = series_from({"10.0.0.0/24": [100, 90] * 15})
+        report = DynamicityAnalyzer().analyze(series)
+        assert report.prefixes["10.0.0.0/24"].change_days == 0
+
+
+class TestInputHandling:
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicityAnalyzer().analyze({})
+
+    def test_multiple_prefixes_independent(self):
+        series = series_from(
+            {
+                "10.0.0.0/24": [100, 50] * 10,
+                "10.0.1.0/24": [100] * 20,
+                "10.0.2.0/24": [5] * 20,
+            }
+        )
+        report = DynamicityAnalyzer().analyze(series)
+        assert report.dynamic_prefixes() == ["10.0.0.0/24"]
+        assert report.total_observed == 3
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=200), min_size=10, max_size=60)
+    )
+    def test_dynamic_requires_large_max_property(self, history):
+        report = DynamicityAnalyzer().analyze(series_from({"10.0.0.0/24": history}))
+        if max(history) <= 10:
+            assert report.prefixes == {}
+        elif report.is_dynamic("10.0.0.0/24"):
+            info = report.prefixes["10.0.0.0/24"]
+            assert info.change_days >= 7
+            assert info.max_daily > 10

@@ -1,0 +1,218 @@
+"""Tests for activity grouping (Table 5) and lingering analysis (Fig. 7)."""
+
+import datetime as dt
+import ipaddress
+
+import pytest
+
+from repro.core import GroupBuilder, lingering_analysis
+from repro.dns.resolver import ResolutionStatus
+from repro.netsim.simtime import HOUR, MINUTE, from_date
+from repro.scan.campaign import SupplementalDataset
+from repro.scan.observations import IcmpObservation, RdnsObservation
+
+DAY0 = from_date(dt.date(2021, 11, 1))
+IP = ipaddress.IPv4Address("20.0.10.10")
+IP2 = ipaddress.IPv4Address("20.0.10.11")
+HOSTNAME = "brians-iphone.campus.stateu.edu"
+
+
+def icmp(at, address=IP, network="Academic-A"):
+    return IcmpObservation(address, at, network)
+
+
+def rdns(at, status=ResolutionStatus.NOERROR, hostname=HOSTNAME, address=IP, network="Academic-A"):
+    return RdnsObservation(address, at, status, hostname if status is ResolutionStatus.NOERROR else "", network)
+
+
+def dataset(icmp_obs, rdns_obs):
+    return SupplementalDataset(
+        start=dt.date(2021, 11, 1),
+        end=dt.date(2021, 11, 2),
+        icmp=list(icmp_obs),
+        rdns=list(rdns_obs),
+        targets_by_network={"Academic-A": ["20.0.10.0/24"]},
+        network_types={},
+    )
+
+
+def clean_session(start, end, removal_offset=5 * MINUTE, step=5 * MINUTE):
+    """A fully usable session: dense pings, PTR present, then removed."""
+    pings = [icmp(t) for t in range(start, end + 1, step)]
+    lookups = [rdns(start)]  # spot lookup at detection
+    lookups.append(rdns(end + removal_offset, ResolutionStatus.NXDOMAIN))
+    return pings, lookups
+
+
+class TestGroupConstruction:
+    def test_single_run_single_group(self):
+        pings, lookups = clean_session(DAY0 + 9 * HOUR, DAY0 + 11 * HOUR)
+        groups = GroupBuilder().build(dataset(pings, lookups))
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.start == DAY0 + 9 * HOUR
+        assert group.end == DAY0 + 11 * HOUR
+        assert group.address == IP
+
+    def test_gap_splits_runs(self):
+        morning = [icmp(DAY0 + 9 * HOUR), icmp(DAY0 + 9 * HOUR + 30 * MINUTE)]
+        evening = [icmp(DAY0 + 15 * HOUR), icmp(DAY0 + 15 * HOUR + 30 * MINUTE)]
+        groups = GroupBuilder().build(dataset(morning + evening, []))
+        assert len(groups) == 2
+
+    def test_small_gap_does_not_split(self):
+        pings = [icmp(DAY0 + 9 * HOUR), icmp(DAY0 + 10 * HOUR)]  # hourly sweep only
+        groups = GroupBuilder().build(dataset(pings, []))
+        assert len(groups) == 1
+
+    def test_addresses_grouped_independently(self):
+        pings = [icmp(DAY0 + 9 * HOUR), icmp(DAY0 + 9 * HOUR, address=IP2)]
+        groups = GroupBuilder().build(dataset(pings, []))
+        assert len(groups) == 2
+        assert {group.address for group in groups} == {IP, IP2}
+
+    def test_rdns_window_clamped_at_next_group(self):
+        # The removal lookup after group 1 must not leak into group 2's
+        # window, and group 2 must not steal group 1's removal.
+        pings1, lookups1 = clean_session(DAY0 + 9 * HOUR, DAY0 + 10 * HOUR)
+        pings2, lookups2 = clean_session(DAY0 + 20 * HOUR, DAY0 + 21 * HOUR)
+        groups = GroupBuilder().build(dataset(pings1 + pings2, lookups1 + lookups2))
+        assert len(groups) == 2
+        first, second = sorted(groups, key=lambda g: g.start)
+        assert first.removal_time() == DAY0 + 10 * HOUR + 5 * MINUTE
+        assert second.removal_time() == DAY0 + 21 * HOUR + 5 * MINUTE
+
+    def test_builder_validates_thresholds(self):
+        with pytest.raises(ValueError):
+            GroupBuilder(gap_threshold=0)
+
+
+class TestFunnelClassification:
+    def test_clean_group_survives_funnel(self):
+        pings, lookups = clean_session(DAY0 + 9 * HOUR, DAY0 + 11 * HOUR)
+        builder = GroupBuilder()
+        groups = builder.build(dataset(pings, lookups))
+        funnel = builder.funnel(groups)
+        assert funnel.all_groups == funnel.successful == funnel.reverted == funnel.reliable == 1
+        assert builder.usable(groups) == groups
+
+    def test_missing_phase1_lookup_fails_successful(self):
+        pings = [icmp(DAY0 + 9 * HOUR), icmp(DAY0 + 10 * HOUR)]
+        lookups = [rdns(DAY0 + 10 * HOUR + 5 * MINUTE, ResolutionStatus.NXDOMAIN)]
+        builder = GroupBuilder()
+        groups = builder.build(dataset(pings, lookups))
+        assert not groups[0].successful
+
+    def test_servfail_in_follow_fails_successful(self):
+        pings, lookups = clean_session(DAY0 + 9 * HOUR, DAY0 + 11 * HOUR)
+        lookups.insert(1, rdns(DAY0 + 11 * HOUR + 2 * MINUTE, ResolutionStatus.SERVFAIL))
+        builder = GroupBuilder()
+        groups = builder.build(dataset(pings, lookups))
+        assert not groups[0].successful
+
+    def test_lingering_record_is_successful_but_not_reverted(self):
+        pings = [icmp(DAY0 + 9 * HOUR + offset) for offset in range(0, 2 * HOUR + 1, 5 * MINUTE)]
+        lookups = [rdns(DAY0 + 9 * HOUR)]
+        lookups += [rdns(DAY0 + 11 * HOUR + offset) for offset in (5 * MINUTE, HOUR)]
+        builder = GroupBuilder()
+        groups = builder.build(dataset(pings, lookups))
+        group = groups[0]
+        assert group.successful
+        assert not group.reverted
+        assert group.removal_time() is None
+
+    def test_hostname_change_counts_as_reverted(self):
+        # Static-template networks revert to the fixed-form name.
+        pings, _ = clean_session(DAY0 + 9 * HOUR, DAY0 + 11 * HOUR)
+        lookups = [
+            rdns(DAY0 + 9 * HOUR),
+            rdns(DAY0 + 11 * HOUR + 5 * MINUTE, hostname="host-20-0-10-10.dynamic.stateu.edu"),
+        ]
+        builder = GroupBuilder()
+        groups = builder.build(dataset(pings, lookups))
+        group = groups[0]
+        assert group.reverted
+        assert group.removal_time() == DAY0 + 11 * HOUR + 5 * MINUTE
+
+    def test_sparse_icmp_sampling_is_unreliable(self):
+        # Departure detected from hour-spaced probes only: sloppy.
+        pings = [icmp(DAY0 + 9 * HOUR), icmp(DAY0 + 10 * HOUR)]
+        lookups = [
+            rdns(DAY0 + 9 * HOUR),
+            rdns(DAY0 + 10 * HOUR + 30 * MINUTE, ResolutionStatus.NXDOMAIN),
+        ]
+        builder = GroupBuilder()
+        groups = builder.build(dataset(pings, lookups))
+        group = groups[0]
+        assert group.successful and group.reverted
+        assert not group.reliable()
+        funnel = builder.funnel(groups)
+        assert funnel.reverted == 1
+        assert funnel.reliable == 0
+
+    def test_funnel_rows_layout(self):
+        pings, lookups = clean_session(DAY0 + 9 * HOUR, DAY0 + 11 * HOUR)
+        builder = GroupBuilder()
+        funnel = builder.funnel(builder.build(dataset(pings, lookups)))
+        rows = funnel.rows()
+        assert [row[0] for row in rows] == [
+            "All groups",
+            "Successful responses",
+            "PTR reverted",
+            "Reliable timing alignment",
+        ]
+        assert all(row[2] == 100.0 for row in rows)
+
+
+class TestLingeringAnalysis:
+    def build_usable_groups(self, removal_offsets):
+        pings, lookups = [], []
+        for index, offset in enumerate(removal_offsets):
+            address = ipaddress.IPv4Address(int(IP) + index)
+            start = DAY0 + 9 * HOUR
+            end = DAY0 + 10 * HOUR
+            pings += [
+                icmp(t, address=address) for t in range(start, end + 1, 5 * MINUTE)
+            ]
+            lookups.append(rdns(start, address=address))
+            lookups.append(rdns(end + offset, ResolutionStatus.NXDOMAIN, address=address))
+        builder = GroupBuilder()
+        groups = builder.build(dataset(pings, lookups))
+        return builder.usable(groups)
+
+    def test_lingering_minutes(self):
+        groups = self.build_usable_groups([5 * MINUTE, 60 * MINUTE])
+        analysis = lingering_analysis(groups)
+        assert sorted(analysis.minutes) == [5.0, 60.0]
+        assert analysis.count == 2
+
+    def test_fraction_within(self):
+        groups = self.build_usable_groups([5 * MINUTE] * 9 + [120 * MINUTE])
+        analysis = lingering_analysis(groups)
+        assert analysis.fraction_within(60) == pytest.approx(0.9)
+
+    def test_histogram_bins(self):
+        groups = self.build_usable_groups([5 * MINUTE, 7 * MINUTE, 61 * MINUTE])
+        histogram = lingering_analysis(groups).histogram(bin_minutes=5)
+        assert histogram[5] == 2
+        assert histogram[60] == 1
+
+    def test_cdf_monotonic(self):
+        groups = self.build_usable_groups([5 * MINUTE, 30 * MINUTE, 55 * MINUTE])
+        points = lingering_analysis(groups).cdf("Academic-A")
+        fractions = [fraction for _, fraction in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_per_network_split(self):
+        groups = self.build_usable_groups([5 * MINUTE])
+        analysis = lingering_analysis(groups)
+        assert analysis.networks() == ["Academic-A"]
+        assert analysis.fraction_within(10, "Academic-A") == 1.0
+
+    def test_quantile(self):
+        groups = self.build_usable_groups([5 * MINUTE, 30 * MINUTE, 60 * MINUTE, 90 * MINUTE])
+        analysis = lingering_analysis(groups)
+        assert analysis.quantile(0.5) in (30.0, 60.0)
+        with pytest.raises(ValueError):
+            analysis.quantile(1.5)

@@ -1,0 +1,163 @@
+"""Tests for the leak-identification pipeline and type classification."""
+
+import ipaddress
+
+import pytest
+
+from repro.core import (
+    GivenNameMatcher,
+    LeakIdentifier,
+    LeakThresholds,
+    NetworkTypeClassifier,
+)
+from repro.netsim.network import NetworkType
+
+
+def records_for(prefix, hostnames):
+    base = ipaddress.IPv4Network(prefix).network_address
+    return [
+        (ipaddress.IPv4Address(int(base) + 10 + index), hostname)
+        for index, hostname in enumerate(hostnames)
+    ]
+
+
+CAMPUS = records_for(
+    "10.0.10.0/24",
+    [
+        "brians-iphone.campus.stateu.edu",
+        "emmas-ipad.campus.stateu.edu",
+        "jacobs-mbp.campus.stateu.edu",
+        "olivias-dell-laptop.campus.stateu.edu",
+        "noahs-android.campus.stateu.edu",
+        "desktop-a1b2c3.campus.stateu.edu",
+    ],
+)
+
+ROUTER_FARM = records_for(
+    "11.0.1.0/24",
+    [
+        "xe-0-0-0.core1.jackson.bigisp.net",
+        "xe-0-0-1.core1.jackson.bigisp.net",
+        "ae1.edge1.madison.bigisp.net",
+        "ge-0-1-0.border1.tyler.bigisp.net",
+    ],
+)
+
+STATIC_VANITY = records_for(
+    "12.0.1.0/24",
+    ["brian-pc.smallcorp.com", "emma-ws.smallcorp.com"],
+)
+
+
+def identify(records, dynamic, min_unique=3, min_ratio=0.1):
+    identifier = LeakIdentifier(
+        GivenNameMatcher(),
+        LeakThresholds(min_unique_names=min_unique, min_ratio=min_ratio),
+    )
+    return identifier.identify(records, dynamic)
+
+
+class TestIdentification:
+    def test_leaking_network_identified(self):
+        report = identify(CAMPUS, {"10.0.10.0/24"})
+        assert report.identified == ["stateu.edu"]
+        stats = report.stats_for("stateu.edu")
+        assert stats.unique_names == {"brian", "emma", "jacob", "olivia", "noah"}
+        assert stats.records == 5  # the generic desktop record matches no name
+
+    def test_static_network_not_identified(self):
+        # Same name-rich records, but the /24 was never flagged dynamic.
+        report = identify(STATIC_VANITY + CAMPUS, {"10.0.10.0/24"})
+        assert report.identified == ["stateu.edu"]
+        assert "smallcorp.com" not in report.suffix_stats
+
+    def test_router_level_records_excluded(self):
+        report = identify(ROUTER_FARM, {"11.0.1.0/24"})
+        assert report.identified == []
+        assert "bigisp.net" not in report.suffix_stats
+
+    def test_city_confound_fails_ratio(self):
+        # A non-router city-name farm: many records, one unique name.
+        farm = records_for(
+            "11.0.2.0/24", [f"host{i}.jackson.bigisp.net" for i in range(30)]
+        )
+        report = identify(farm, {"11.0.2.0/24"}, min_unique=1, min_ratio=0.1)
+        stats = report.suffix_stats["bigisp.net"]
+        assert stats.unique_name_count == 1
+        assert stats.ratio < 0.1
+        assert report.identified == []
+
+    def test_unique_name_threshold(self):
+        report = identify(CAMPUS, {"10.0.10.0/24"}, min_unique=6)
+        assert report.identified == []
+
+
+class TestFigureSeries:
+    def test_all_matches_include_static_space(self):
+        report = identify(CAMPUS + STATIC_VANITY, {"10.0.10.0/24"})
+        assert report.all_name_counts["brian"] == 2  # campus + vanity
+        assert report.filtered_name_counts["brian"] == 1  # campus only
+
+    def test_filtered_counts_subset_of_all(self):
+        report = identify(CAMPUS + STATIC_VANITY + ROUTER_FARM, {"10.0.10.0/24"})
+        for name, count in report.filtered_name_counts.items():
+            assert count <= report.all_name_counts[name]
+
+    def test_device_terms_counted(self):
+        report = identify(CAMPUS, {"10.0.10.0/24"})
+        assert report.filtered_device_term_counts["iphone"] == 1
+        assert report.filtered_device_term_counts["ipad"] == 1
+        assert report.filtered_device_term_counts["dell"] == 1
+        assert report.filtered_device_term_counts["laptop"] == 1
+        assert report.filtered_device_term_counts["android"] == 1
+
+    def test_multi_token_device_terms(self):
+        records = records_for("10.0.10.0/24", ["brians-galaxy-note9.x.stateu.edu"] * 2)
+        report = identify(records, {"10.0.10.0/24"}, min_unique=1)
+        assert report.all_device_term_counts["galaxy"] == 2
+
+
+class TestThresholdValidation:
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            LeakThresholds(min_unique_names=0)
+        with pytest.raises(ValueError):
+            LeakThresholds(min_ratio=0)
+        with pytest.raises(ValueError):
+            LeakThresholds(min_ratio=1.5)
+
+
+class TestClassifier:
+    @pytest.fixture
+    def classifier(self):
+        return NetworkTypeClassifier()
+
+    def test_academic_suffixes(self, classifier):
+        assert classifier.classify("stateu.edu") is NetworkType.ACADEMIC
+        assert classifier.classify("techuni.ac.nl") is NetworkType.ACADEMIC
+        assert classifier.classify("campus-portal.example") is NetworkType.ACADEMIC
+
+    def test_government(self, classifier):
+        assert classifier.classify("state.gov") is NetworkType.GOVERNMENT
+        assert classifier.classify("agency.gov.uk") is NetworkType.GOVERNMENT
+
+    def test_isp(self, classifier):
+        assert classifier.classify("metronet.net") is NetworkType.ISP
+        assert classifier.classify("valley-isp.net") is NetworkType.ISP
+        assert classifier.classify("coastal-broadband.net") is NetworkType.ISP
+
+    def test_enterprise(self, classifier):
+        assert classifier.classify("initech.com") is NetworkType.ENTERPRISE
+        assert classifier.classify("big-corp.example") is NetworkType.ENTERPRISE
+
+    def test_other(self, classifier):
+        assert classifier.classify("club00.example") is NetworkType.OTHER
+
+    def test_breakdown_percentages_sum_to_100(self, classifier):
+        suffixes = ["stateu.edu", "initech.com", "metronet.net", "club.example"]
+        percents = classifier.breakdown_percent(suffixes)
+        assert sum(percents.values()) == pytest.approx(100.0)
+        assert percents[NetworkType.ACADEMIC] == pytest.approx(25.0)
+
+    def test_breakdown_empty(self, classifier):
+        assert all(v == 0 for v in classifier.breakdown_percent([]).values())

@@ -1,0 +1,83 @@
+"""Property-based tests for the leak-identification pipeline."""
+
+import ipaddress
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GivenNameMatcher, LeakIdentifier, LeakThresholds
+from repro.datasets.names import TOP_GIVEN_NAMES
+
+label = st.from_regex(r"[a-z][a-z0-9-]{0,12}[a-z0-9]", fullmatch=True)
+name = st.sampled_from(TOP_GIVEN_NAMES)
+suffix = st.sampled_from(["alpha.edu", "beta.net", "gamma.com", "delta.example"])
+
+
+@st.composite
+def record(draw):
+    address = ipaddress.IPv4Address(draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    if draw(st.booleans()):
+        host_label = f"{draw(name)}s-{draw(label)}"
+    else:
+        host_label = draw(label)
+    return (address, f"{host_label}.{draw(suffix)}")
+
+
+records_strategy = st.lists(record(), max_size=60)
+
+
+def dynamic_set_for(records, draw_all):
+    if draw_all:
+        return {f"{ipaddress.ip_network((int(a) & ~0xFF, 24))}" for a, _ in records}
+    return set()
+
+
+class TestLeakInvariants:
+    @given(records_strategy, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_filtered_never_exceeds_all(self, records, all_dynamic):
+        identifier = LeakIdentifier(GivenNameMatcher(), LeakThresholds(min_unique_names=1, min_ratio=0.01))
+        report = identifier.identify(records, dynamic_set_for(records, all_dynamic))
+        for key, count in report.filtered_name_counts.items():
+            assert count <= report.all_name_counts[key]
+        for key, count in report.filtered_device_term_counts.items():
+            assert count <= report.all_device_term_counts[key]
+
+    @given(records_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_no_dynamic_space_no_identification(self, records):
+        identifier = LeakIdentifier(GivenNameMatcher(), LeakThresholds(min_unique_names=1, min_ratio=0.01))
+        report = identifier.identify(records, set())
+        assert report.identified == []
+        assert report.suffix_stats == {}
+        assert sum(report.filtered_name_counts.values()) == 0
+
+    @given(records_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_identified_suffixes_meet_thresholds(self, records):
+        thresholds = LeakThresholds(min_unique_names=2, min_ratio=0.1)
+        identifier = LeakIdentifier(GivenNameMatcher(), thresholds)
+        report = identifier.identify(records, dynamic_set_for(records, True))
+        for suffix_key in report.identified:
+            stats = report.stats_for(suffix_key)
+            assert stats.unique_name_count >= 2
+            assert stats.ratio >= 0.1
+
+    @given(records_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_ratio_bounded(self, records):
+        identifier = LeakIdentifier(GivenNameMatcher(), LeakThresholds(min_unique_names=1, min_ratio=0.01))
+        report = identifier.identify(records, dynamic_set_for(records, True))
+        for stats in report.suffix_stats.values():
+            assert 0 < stats.ratio <= len(TOP_GIVEN_NAMES)
+            assert stats.unique_name_count <= stats.records * 10  # sanity
+
+    @given(records_strategy, st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_identification_is_deterministic(self, records, all_dynamic):
+        identifier = LeakIdentifier(GivenNameMatcher(), LeakThresholds(min_unique_names=1, min_ratio=0.01))
+        dynamic = dynamic_set_for(records, all_dynamic)
+        first = identifier.identify(list(records), set(dynamic))
+        second = identifier.identify(list(records), set(dynamic))
+        assert first.identified == second.identified
+        assert first.all_name_counts == second.all_name_counts

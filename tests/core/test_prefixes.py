@@ -1,0 +1,85 @@
+"""Tests for announced-prefix mapping and Figure 1 fractions."""
+
+import ipaddress
+
+import pytest
+
+from repro.core import AnnouncedPrefixMap, dynamic_fraction_summary
+
+
+@pytest.fixture
+def prefix_map():
+    return AnnouncedPrefixMap(
+        [
+            ("10.0.0.0/8", "wide-isp"),
+            ("10.1.0.0/16", "campus"),
+            ("10.1.2.0/24", "lab"),
+            ("192.0.0.0/12", "other"),
+        ]
+    )
+
+
+class TestCovering:
+    def test_most_specific_wins(self, prefix_map):
+        network, holder = prefix_map.covering("10.1.2.0/24")
+        assert holder == "lab"
+        network, holder = prefix_map.covering("10.1.3.0/24")
+        assert holder == "campus"
+        network, holder = prefix_map.covering("10.200.0.0/24")
+        assert holder == "wide-isp"
+
+    def test_uncovered_returns_none(self, prefix_map):
+        assert prefix_map.covering("172.16.0.0/24") is None
+
+    def test_duplicate_announcement_rejected(self):
+        with pytest.raises(ValueError):
+            AnnouncedPrefixMap([("10.0.0.0/8", "a"), ("10.0.0.0/8", "b")])
+
+    def test_more_specific_than_24_rejected(self):
+        with pytest.raises(ValueError):
+            AnnouncedPrefixMap([("10.0.0.0/25", "a")])
+
+    def test_len(self, prefix_map):
+        assert len(prefix_map) == 4
+
+
+class TestFractions:
+    def test_fraction_counts_per_announced_prefix(self, prefix_map):
+        fractions = prefix_map.dynamic_fractions(["10.1.2.0/24", "10.1.5.0/24", "10.1.6.0/24"])
+        lab = ipaddress.IPv4Network("10.1.2.0/24")
+        campus = ipaddress.IPv4Network("10.1.0.0/16")
+        assert fractions[lab] == 1.0  # the /24 itself
+        assert fractions[campus] == pytest.approx(2 / 256)
+
+    def test_prefixes_without_dynamics_absent(self, prefix_map):
+        fractions = prefix_map.dynamic_fractions(["10.1.5.0/24"])
+        assert ipaddress.IPv4Network("192.0.0.0/12") not in fractions
+
+    def test_uncovered_dynamic_24s_ignored(self, prefix_map):
+        assert prefix_map.dynamic_fractions(["172.16.0.0/24"]) == {}
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        prefix_map = AnnouncedPrefixMap(
+            [
+                ("10.0.0.0/16", "a"),
+                ("11.0.0.0/16", "b"),
+                ("12.0.0.0/20", "c"),
+            ]
+        )
+        dynamic = ["10.0.1.0/24", "10.0.2.0/24", "11.0.1.0/24", "12.0.1.0/24"]
+        summaries = dynamic_fraction_summary(prefix_map, dynamic)
+        by_size = {summary.prefixlen: summary for summary in summaries}
+        assert by_size[16].prefixes == 2
+        assert by_size[16].minimum == pytest.approx(1 / 256)
+        assert by_size[16].maximum == pytest.approx(2 / 256)
+        assert by_size[20].median == pytest.approx(1 / 16)
+
+    def test_larger_prefixes_have_smaller_fractions(self):
+        # One dynamic /24 inside a /8 vs inside a /20: Figure 1's
+        # overall shape (bigger announced prefix, smaller fraction).
+        prefix_map = AnnouncedPrefixMap([("10.0.0.0/8", "big"), ("12.0.0.0/20", "small")])
+        summaries = dynamic_fraction_summary(prefix_map, ["10.0.1.0/24", "12.0.1.0/24"])
+        by_size = {summary.prefixlen: summary for summary in summaries}
+        assert by_size[8].maximum < by_size[20].minimum

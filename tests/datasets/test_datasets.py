@@ -1,0 +1,67 @@
+"""Tests for the embedded reference data."""
+
+from repro.datasets import (
+    CITY_NAMES_WITH_GIVEN_NAME_OVERLAP,
+    DEVICE_TERMS,
+    GENERIC_ROUTER_TERMS,
+    TOP_GIVEN_NAMES,
+    name_popularity_weights,
+)
+from repro.datasets.names import OTHER_GIVEN_NAMES
+
+
+class TestGivenNames:
+    def test_exactly_fifty_names(self):
+        assert len(TOP_GIVEN_NAMES) == 50
+        assert len(set(TOP_GIVEN_NAMES)) == 50
+
+    def test_figure2_head_of_ranking(self):
+        # The first names on Figure 2's x-axis, in order.
+        assert TOP_GIVEN_NAMES[:6] == ["jacob", "michael", "emma", "william", "ethan", "olivia"]
+
+    def test_brian_is_matchable(self):
+        # The paper's case-study name must be in the matched set.
+        assert "brian" in TOP_GIVEN_NAMES
+
+    def test_all_lowercase(self):
+        assert all(name == name.lower() for name in TOP_GIVEN_NAMES)
+
+    def test_weights_decrease_with_rank(self):
+        weights = name_popularity_weights()
+        ordered = [weights[name] for name in TOP_GIVEN_NAMES]
+        assert ordered == sorted(ordered, reverse=True)
+        assert weights["jacob"] > weights["brian"]
+
+    def test_other_names_disjoint_from_top50(self):
+        assert not set(OTHER_GIVEN_NAMES) & set(TOP_GIVEN_NAMES)
+
+
+class TestDeviceTerms:
+    def test_figure3_terms_present(self):
+        for term in ("ipad", "air", "laptop", "phone", "dell", "desktop",
+                     "iphone", "mbp", "android", "macbook", "galaxy",
+                     "lenovo", "chrome", "roku"):
+            assert term in DEVICE_TERMS
+
+    def test_terms_have_min_three_characters(self):
+        # The paper drops two-character terms like 'hp' as too noisy.
+        assert all(len(term) >= 3 for term in DEVICE_TERMS)
+
+
+class TestRouterTerms:
+    def test_paper_examples_present(self):
+        assert "north" in GENERIC_ROUTER_TERMS
+        assert "south" in GENERIC_ROUTER_TERMS
+
+    def test_common_interface_terms(self):
+        for term in ("core", "edge", "gw", "static", "dhcp"):
+            assert term in GENERIC_ROUTER_TERMS
+
+    def test_device_terms_not_router_terms(self):
+        assert not set(DEVICE_TERMS) & GENERIC_ROUTER_TERMS
+
+
+class TestCityOverlap:
+    def test_city_names_embed_given_names(self):
+        for city in CITY_NAMES_WITH_GIVEN_NAME_OVERLAP:
+            assert any(name in city for name in TOP_GIVEN_NAMES), city

@@ -1,0 +1,142 @@
+"""Tests for the DHCP wire codec."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dhcp import ClientFqdn, DhcpMessage, DhcpOptionCode, MessageType, OptionSet
+from repro.dhcp.wire import MAGIC_COOKIE, DhcpWireError, decode, encode
+
+
+def make_message(message_type=MessageType.REQUEST, host_name="Brian's iPhone", **extra):
+    options = OptionSet()
+    if host_name is not None:
+        options.host_name = host_name
+    for code, value in extra.items():
+        options.set(DhcpOptionCode[code.upper()], value)
+    return DhcpMessage(message_type, "aa:bb:cc:dd:ee:ff", options=options)
+
+
+class TestRoundtrip:
+    def test_discover_roundtrip(self):
+        message = make_message(MessageType.DISCOVER)
+        decoded, xid = decode(encode(message, transaction_id=0xDEADBEEF))
+        assert xid == 0xDEADBEEF
+        assert decoded.message_type is MessageType.DISCOVER
+        assert decoded.client_id == "aa:bb:cc:dd:ee:ff"
+        assert decoded.host_name == "Brian's iPhone"
+
+    def test_ack_carries_yiaddr_and_lease(self):
+        options = OptionSet()
+        options.set(DhcpOptionCode.LEASE_TIME, 3600)
+        message = DhcpMessage(
+            MessageType.ACK,
+            "client-1",
+            options=options,
+            your_address=ipaddress.IPv4Address("192.0.2.10"),
+            server_id="dhcp.example.net",
+        )
+        decoded, _ = decode(encode(message))
+        assert decoded.your_address == ipaddress.IPv4Address("192.0.2.10")
+        assert decoded.lease_time == 3600
+        assert decoded.server_id == "dhcp.example.net"
+
+    def test_requested_ip_roundtrip(self):
+        message = make_message(requested_ip=ipaddress.IPv4Address("10.0.0.9"))
+        decoded, _ = decode(encode(message))
+        assert decoded.requested_address == ipaddress.IPv4Address("10.0.0.9")
+
+    def test_client_fqdn_roundtrip(self):
+        message = make_message(host_name=None)
+        message.options.client_fqdn = ClientFqdn(
+            "brians-iphone.example.org", server_updates=False, no_server_update=True
+        )
+        decoded, _ = decode(encode(message))
+        fqdn = decoded.options.client_fqdn
+        assert fqdn.fqdn == "brians-iphone.example.org"
+        assert fqdn.no_server_update
+        assert not fqdn.server_updates
+
+    def test_parameter_request_list_roundtrip(self):
+        message = make_message(
+            parameter_request_list=[DhcpOptionCode.ROUTER, DhcpOptionCode.DOMAIN_NAME]
+        )
+        decoded, _ = decode(encode(message))
+        assert decoded.options.get(DhcpOptionCode.PARAMETER_REQUEST_LIST) == [3, 15]
+
+    def test_non_mac_client_id_roundtrip(self):
+        message = DhcpMessage(MessageType.RELEASE, "Academic-A-stu17-d0")
+        decoded, _ = decode(encode(message))
+        assert decoded.client_id == "Academic-A-stu17-d0"
+
+    @given(
+        st.sampled_from(list(MessageType)),
+        st.from_regex(r"[a-z0-9:-]{1,30}", fullmatch=True),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, message_type, client_id, xid):
+        message = DhcpMessage(message_type, client_id)
+        decoded, decoded_xid = decode(encode(message, transaction_id=xid))
+        assert decoded.message_type is message_type
+        assert decoded.client_id == client_id
+        assert decoded_xid == xid
+
+
+class TestWireDetails:
+    def test_magic_cookie_present(self):
+        wire = encode(make_message())
+        assert MAGIC_COOKIE in wire
+
+    def test_reply_sets_op_code_two(self):
+        assert encode(DhcpMessage(MessageType.OFFER, "c"))[0] == 2
+        assert encode(DhcpMessage(MessageType.DISCOVER, "c"))[0] == 1
+
+    def test_mac_chaddr_packed_as_octets(self):
+        wire = encode(make_message())
+        chaddr = wire[28:44]
+        assert chaddr[:6] == bytes.fromhex("aabbccddeeff")
+
+
+class TestDecodeErrors:
+    def test_short_packet_rejected(self):
+        with pytest.raises(DhcpWireError):
+            decode(b"\x01\x01\x06\x00")
+
+    def test_missing_cookie_rejected(self):
+        wire = bytearray(encode(make_message()))
+        wire[236:240] = b"\x00\x00\x00\x00"
+        with pytest.raises(DhcpWireError):
+            decode(bytes(wire))
+
+    def test_missing_message_type_rejected(self):
+        wire = bytearray(240)
+        wire[0] = 1
+        wire[236:240] = MAGIC_COOKIE
+        wire.append(255)
+        with pytest.raises(DhcpWireError):
+            decode(bytes(wire))
+
+    def test_truncated_option_rejected(self):
+        wire = bytearray(encode(make_message()))
+        # Chop mid-option (drop END and a few octets).
+        with pytest.raises(DhcpWireError):
+            decode(bytes(wire[:-4]))
+
+    def test_unknown_options_skipped(self):
+        wire = bytearray(encode(make_message()))
+        # Insert an unknown option (code 200) before END.
+        assert wire[-1] == 255
+        wire[-1:] = bytes([200, 2, 1, 2, 255])
+        decoded, _ = decode(bytes(wire))
+        assert decoded.host_name == "Brian's iPhone"
+
+    @given(st.binary(max_size=400))
+    @settings(max_examples=150)
+    def test_random_bytes_never_crash(self, wire):
+        try:
+            decode(wire)
+        except (DhcpWireError, ValueError):
+            pass

@@ -1,0 +1,83 @@
+"""Tests for forward zones with dynamic update."""
+
+import ipaddress
+
+import pytest
+
+from repro.dns.forward import ForwardZone
+from repro.dns.errors import ZoneError
+from repro.dns.name import DomainName
+from repro.dns.rcode import Rcode, RecordType
+
+
+@pytest.fixture
+def zone():
+    return ForwardZone("campus.example.edu")
+
+
+class TestForwardZone:
+    def test_set_and_get(self, zone):
+        zone.set_a("brians-iphone.campus.example.edu", "192.0.2.10")
+        assert zone.get_address("brians-iphone.campus.example.edu") == ipaddress.IPv4Address("192.0.2.10")
+        assert len(zone) == 1
+
+    def test_set_bumps_serial(self, zone):
+        before = zone.serial
+        zone.set_a("a.campus.example.edu", "192.0.2.1")
+        assert zone.serial == before + 1
+
+    def test_idempotent_set(self, zone):
+        zone.set_a("a.campus.example.edu", "192.0.2.1")
+        serial = zone.serial
+        zone.set_a("a.campus.example.edu", "192.0.2.1")
+        assert zone.serial == serial
+
+    def test_readdress_updates(self, zone):
+        zone.set_a("a.campus.example.edu", "192.0.2.1")
+        zone.set_a("a.campus.example.edu", "192.0.2.2")
+        assert zone.get_address("a.campus.example.edu") == ipaddress.IPv4Address("192.0.2.2")
+
+    def test_remove(self, zone):
+        zone.set_a("a.campus.example.edu", "192.0.2.1")
+        assert zone.remove_a("a.campus.example.edu")
+        assert not zone.remove_a("a.campus.example.edu")
+        assert zone.get_address("a.campus.example.edu") is None
+
+    def test_out_of_zone_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.set_a("www.elsewhere.org", "192.0.2.1")
+
+    def test_root_origin_rejected(self):
+        with pytest.raises(ZoneError):
+            ForwardZone(".")
+
+    def test_lookup_a(self, zone):
+        zone.set_a("a.campus.example.edu", "192.0.2.1")
+        rcode, answers = zone.lookup(DomainName.parse("a.campus.example.edu"), RecordType.A)
+        assert rcode is Rcode.NOERROR
+        assert answers[0].rdata == ipaddress.IPv4Address("192.0.2.1")
+
+    def test_lookup_missing_is_nxdomain(self, zone):
+        rcode, answers = zone.lookup(DomainName.parse("nope.campus.example.edu"), RecordType.A)
+        assert rcode is Rcode.NXDOMAIN
+
+    def test_lookup_wrong_type_is_nodata(self, zone):
+        zone.set_a("a.campus.example.edu", "192.0.2.1")
+        rcode, answers = zone.lookup(DomainName.parse("a.campus.example.edu"), RecordType.TXT)
+        assert rcode is Rcode.NOERROR
+        assert answers == []
+
+    def test_soa_lookup(self, zone):
+        rcode, answers = zone.lookup(zone.origin, RecordType.SOA)
+        assert answers[0].rtype is RecordType.SOA
+
+    def test_entries_sorted(self, zone):
+        zone.set_a("b.campus.example.edu", "192.0.2.2")
+        zone.set_a("a.campus.example.edu", "192.0.2.1")
+        names = [name.to_text() for name, _ in zone.entries()]
+        assert names == ["a.campus.example.edu.", "b.campus.example.edu."]
+
+    def test_contains(self, zone):
+        zone.set_a("a.campus.example.edu", "192.0.2.1")
+        assert "a.campus.example.edu" in zone
+        assert "b.campus.example.edu" not in zone

@@ -1,0 +1,97 @@
+"""Tests for master-file export/import."""
+
+import io
+import ipaddress
+
+import pytest
+
+from repro.dns import ReverseZone, ZoneError
+from repro.dns.forward import ForwardZone
+from repro.dns.masterfile import (
+    dump_zone,
+    load_forward_zone,
+    load_reverse_zone,
+    write_zone,
+)
+
+
+@pytest.fixture
+def reverse():
+    zone = ReverseZone("192.0.2.0/24")
+    zone.set_ptr("192.0.2.10", "brians-iphone.campus.example.edu")
+    zone.set_ptr("192.0.2.20", "emmas-ipad.campus.example.edu", ttl=120)
+    return zone
+
+
+@pytest.fixture
+def forward():
+    zone = ForwardZone("campus.example.edu")
+    zone.set_a("brians-iphone.campus.example.edu", "192.0.2.10")
+    return zone
+
+
+class TestDump:
+    def test_reverse_dump_layout(self, reverse):
+        text = dump_zone(reverse)
+        lines = text.splitlines()
+        assert lines[0] == "$ORIGIN 2.0.192.in-addr.arpa."
+        assert lines[1] == "$TTL 3600"
+        assert "SOA" in lines[2]
+        assert "10.2.0.192.in-addr.arpa. 3600 IN PTR brians-iphone.campus.example.edu." in text
+        assert "20.2.0.192.in-addr.arpa. 120 IN PTR emmas-ipad.campus.example.edu." in text
+
+    def test_forward_dump(self, forward):
+        text = dump_zone(forward)
+        assert "$ORIGIN campus.example.edu." in text
+        assert "brians-iphone.campus.example.edu. 3600 IN A 192.0.2.10" in text
+
+    def test_write_zone_stream(self, reverse):
+        stream = io.StringIO()
+        written = write_zone(reverse, stream)
+        assert written == len(stream.getvalue()) > 0
+
+
+class TestLoadReverse:
+    def test_roundtrip(self, reverse):
+        loaded = load_reverse_zone(dump_zone(reverse), "192.0.2.0/24")
+        assert dict(loaded.entries()) == dict(reverse.entries())
+
+    def test_ttl_preserved(self, reverse):
+        loaded = load_reverse_zone(dump_zone(reverse), "192.0.2.0/24")
+        assert loaded.get_ptr("192.0.2.20").ttl == 120
+
+    def test_comments_and_blanks_ignored(self):
+        text = """
+; a comment
+$ORIGIN 2.0.192.in-addr.arpa.
+$TTL 300
+5.2.0.192.in-addr.arpa. 300 IN PTR host.example.com. ; trailing comment
+"""
+        zone = load_reverse_zone(text, "192.0.2.0/24")
+        assert zone.get_hostname("192.0.2.5") == "host.example.com"
+
+    def test_origin_mismatch_rejected(self, reverse):
+        with pytest.raises(ZoneError):
+            load_reverse_zone(dump_zone(reverse), "10.0.0.0/24")
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ZoneError):
+            load_reverse_zone("5.2.0.192.in-addr.arpa. PTR", "192.0.2.0/24")
+
+    def test_wrong_type_rejected(self):
+        text = "5.2.0.192.in-addr.arpa. 300 IN A 1.2.3.4"
+        with pytest.raises(ZoneError):
+            load_reverse_zone(text, "192.0.2.0/24")
+
+
+class TestLoadForward:
+    def test_roundtrip(self, forward):
+        loaded = load_forward_zone(dump_zone(forward), "campus.example.edu")
+        assert loaded.get_address("brians-iphone.campus.example.edu") == ipaddress.IPv4Address(
+            "192.0.2.10"
+        )
+
+    def test_wrong_type_rejected(self):
+        text = "x.campus.example.edu. 300 IN PTR y.example.com."
+        with pytest.raises(ZoneError):
+            load_forward_zone(text, "campus.example.edu")

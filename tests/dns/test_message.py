@@ -1,0 +1,161 @@
+"""Tests for the RFC 1035 wire-format codec."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns import (
+    DnsMessage,
+    DomainName,
+    MessageFormatError,
+    Rcode,
+    RecordType,
+    ResourceRecord,
+    make_ptr,
+    reverse_pointer,
+)
+from repro.dns.message import FLAG_AA, FLAG_QR, Question
+from repro.dns.records import SoaData
+
+
+def roundtrip(message: DnsMessage) -> DnsMessage:
+    return DnsMessage.from_wire(message.to_wire())
+
+
+class TestHeader:
+    def test_query_roundtrip(self):
+        query = DnsMessage.query(reverse_pointer("192.0.2.1"), msg_id=4242)
+        decoded = roundtrip(query)
+        assert decoded.msg_id == 4242
+        assert not decoded.is_response
+        assert decoded.questions == query.questions
+
+    def test_response_flags_roundtrip(self):
+        query = DnsMessage.query(reverse_pointer("192.0.2.1"), msg_id=7)
+        response = query.response(Rcode.NXDOMAIN)
+        response.authoritative = True
+        decoded = roundtrip(response)
+        assert decoded.is_response
+        assert decoded.authoritative
+        assert decoded.rcode is Rcode.NXDOMAIN
+        assert decoded.msg_id == 7
+
+    def test_recursion_desired_preserved(self):
+        query = DnsMessage.query(reverse_pointer("10.0.0.1"), recursion_desired=True)
+        assert roundtrip(query).recursion_desired
+
+    def test_flag_bits_on_wire(self):
+        response = DnsMessage.query(reverse_pointer("10.0.0.1")).response()
+        response.authoritative = True
+        wire = response.to_wire()
+        flags = int.from_bytes(wire[2:4], "big")
+        assert flags & FLAG_QR
+        assert flags & FLAG_AA
+
+    def test_short_message_rejected(self):
+        with pytest.raises(MessageFormatError):
+            DnsMessage.from_wire(b"\x00\x01\x02")
+
+
+class TestRecordsOnWire:
+    def test_ptr_answer_roundtrip(self):
+        query = DnsMessage.query(reverse_pointer("93.184.216.34"))
+        response = query.response()
+        response.answers = [make_ptr("93.184.216.34", "brians-iphone.campus.example.edu")]
+        decoded = roundtrip(response)
+        assert len(decoded.answers) == 1
+        assert decoded.answers[0].rdata_text() == "brians-iphone.campus.example.edu."
+        assert decoded.answers[0].ttl == 3600
+
+    def test_a_record_roundtrip(self):
+        record = ResourceRecord(
+            DomainName.parse("h.example.com"), RecordType.A, ipaddress.IPv4Address("198.51.100.9")
+        )
+        message = DnsMessage(answers=[record], is_response=True)
+        decoded = roundtrip(message)
+        assert decoded.answers[0].rdata == ipaddress.IPv4Address("198.51.100.9")
+
+    def test_aaaa_record_roundtrip(self):
+        record = ResourceRecord(
+            DomainName.parse("h.example.com"), RecordType.AAAA, ipaddress.IPv6Address("2001:db8::5")
+        )
+        decoded = roundtrip(DnsMessage(answers=[record], is_response=True))
+        assert decoded.answers[0].rdata == ipaddress.IPv6Address("2001:db8::5")
+
+    def test_soa_in_authority_roundtrip(self):
+        soa = SoaData(
+            DomainName.parse("ns1.example.net"),
+            DomainName.parse("hostmaster.example.net"),
+            serial=99,
+        )
+        message = DnsMessage(
+            is_response=True,
+            rcode=Rcode.NXDOMAIN,
+            authority=[ResourceRecord(DomainName.parse("2.0.192.in-addr.arpa"), RecordType.SOA, soa)],
+        )
+        decoded = roundtrip(message)
+        assert decoded.authority[0].rdata.serial == 99
+        assert decoded.authority[0].rdata.mname == DomainName.parse("ns1.example.net")
+
+    def test_txt_record_roundtrip(self):
+        record = ResourceRecord(DomainName.parse("t.example.com"), RecordType.TXT, "opt-out: see https://example.net")
+        decoded = roundtrip(DnsMessage(answers=[record], is_response=True))
+        assert decoded.answers[0].rdata == "opt-out: see https://example.net"
+
+
+class TestCompression:
+    def test_compression_shrinks_repeated_names(self):
+        records = [make_ptr(f"192.0.2.{i}", f"host{i}.campus.example.edu") for i in range(1, 11)]
+        message = DnsMessage(is_response=True, answers=records)
+        wire = message.to_wire()
+        uncompressed_estimate = sum(r.name.wire_length() + r.rdata.wire_length() + 10 for r in records)
+        assert len(wire) < uncompressed_estimate
+        decoded = DnsMessage.from_wire(wire)
+        assert [r.rdata_text() for r in decoded.answers] == [r.rdata_text() for r in records]
+
+    def test_pointer_loop_rejected(self):
+        # Hand-crafted message whose question name points at itself.
+        header = (0).to_bytes(2, "big") + (0).to_bytes(2, "big") + (1).to_bytes(2, "big") + b"\x00\x00" * 3
+        loop = b"\xc0\x0c"  # pointer to offset 12 = itself
+        wire = header + loop + (12).to_bytes(2, "big") + (1).to_bytes(2, "big")
+        with pytest.raises(MessageFormatError):
+            DnsMessage.from_wire(wire)
+
+    def test_forward_pointer_rejected(self):
+        header = b"\x00\x00" * 2 + b"\x00\x01" + b"\x00\x00" * 3
+        forward = b"\xc0\xff"
+        wire = header + forward + b"\x00\x0c\x00\x01"
+        with pytest.raises(MessageFormatError):
+            DnsMessage.from_wire(wire)
+
+
+name_strategy = st.lists(
+    st.from_regex(r"[a-z][a-z0-9-]{0,15}", fullmatch=True), min_size=1, max_size=5
+).map(DomainName)
+
+
+class TestPropertyRoundtrips:
+    @given(name_strategy, st.integers(min_value=0, max_value=65535))
+    def test_query_roundtrip_property(self, name, msg_id):
+        query = DnsMessage.query(name, msg_id=msg_id)
+        decoded = roundtrip(query)
+        assert decoded.questions[0].name == name
+        assert decoded.msg_id == msg_id
+
+    @given(st.lists(st.tuples(st.integers(0, 2**32 - 1), name_strategy), min_size=1, max_size=8))
+    def test_ptr_answers_roundtrip_property(self, pairs):
+        answers = [
+            ResourceRecord(reverse_pointer(ipaddress.IPv4Address(packed)), RecordType.PTR, hostname)
+            for packed, hostname in pairs
+        ]
+        message = DnsMessage(is_response=True, answers=answers)
+        decoded = roundtrip(message)
+        assert [r.rdata for r in decoded.answers] == [r.rdata for r in answers]
+
+    @given(name_strategy, name_strategy)
+    def test_question_type_class_preserved(self, name, _):
+        message = DnsMessage(questions=[Question(name, RecordType.SOA)])
+        decoded = roundtrip(message)
+        assert decoded.questions[0].rtype is RecordType.SOA

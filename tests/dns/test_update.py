@@ -1,0 +1,132 @@
+"""Tests for RFC 2136 dynamic update."""
+
+import pytest
+
+from repro.dns import DnsMessage, Rcode, ReverseZone, ZoneChangeKind
+from repro.dns.name import DomainName
+from repro.dns.rcode import Opcode
+from repro.dns.update import (
+    DnsUpdateClient,
+    UpdateHandler,
+    build_ptr_delete,
+    build_ptr_update,
+)
+
+
+@pytest.fixture
+def zone():
+    return ReverseZone("192.0.2.0/24")
+
+
+@pytest.fixture
+def handler(zone):
+    return UpdateHandler(zone)
+
+
+class TestMessageConstruction:
+    def test_update_message_layout(self, zone):
+        message = build_ptr_update(zone.origin, "192.0.2.10", "brians-iphone.campus.example.edu")
+        assert message.opcode is Opcode.UPDATE
+        assert message.questions[0].name == zone.origin
+        # Replace mode: a delete-RRset precedes the add.
+        assert len(message.authority) == 2
+        assert message.authority[0].ttl == 0
+        assert message.authority[1].rdata_text() == "brians-iphone.campus.example.edu."
+
+    def test_update_without_replace(self, zone):
+        message = build_ptr_update(zone.origin, "192.0.2.10", "h.example.edu", replace=False)
+        assert len(message.authority) == 1
+
+    def test_update_survives_wire_roundtrip(self, zone):
+        message = build_ptr_update(zone.origin, "192.0.2.10", "h.example.edu", msg_id=5)
+        decoded = DnsMessage.from_wire(message.to_wire())
+        assert decoded.opcode is Opcode.UPDATE
+        assert decoded.msg_id == 5
+        assert len(decoded.authority) == 2
+
+
+class TestUpdateHandler:
+    def test_set_via_update(self, zone, handler):
+        message = build_ptr_update(zone.origin, "192.0.2.10", "h.campus.example.edu")
+        response = handler.handle(message, at=100)
+        assert response.rcode is Rcode.NOERROR
+        assert response.authoritative
+        assert zone.get_hostname("192.0.2.10") == "h.campus.example.edu"
+        assert zone.journal[-1].at == 100
+        assert handler.updates_applied == 1
+
+    def test_delete_via_update(self, zone, handler):
+        zone.set_ptr("192.0.2.10", "h.campus.example.edu")
+        response = handler.handle(build_ptr_delete(zone.origin, "192.0.2.10"), at=200)
+        assert response.rcode is Rcode.NOERROR
+        assert zone.get_ptr("192.0.2.10") is None
+        assert zone.journal[-1].kind is ZoneChangeKind.REMOVE
+
+    def test_replace_updates_existing(self, zone, handler):
+        handler.handle(build_ptr_update(zone.origin, "192.0.2.10", "old.example.edu"))
+        handler.handle(build_ptr_update(zone.origin, "192.0.2.10", "new.example.edu"))
+        assert zone.get_hostname("192.0.2.10") == "new.example.edu"
+
+    def test_foreign_zone_rejected(self, zone, handler):
+        foreign = DomainName.parse("2.0.10.in-addr.arpa")
+        message = build_ptr_update(foreign, "192.0.2.10", "h.example.edu")
+        response = handler.handle(message)
+        assert response.rcode is Rcode.REFUSED  # NOTAUTH equivalent
+        assert zone.get_ptr("192.0.2.10") is None
+        assert handler.updates_rejected == 1
+
+    def test_out_of_zone_record_rejected_atomically(self, zone, handler):
+        message = build_ptr_update(zone.origin, "192.0.2.10", "h.example.edu")
+        # Smuggle in a record for an address outside the zone.
+        foreign = build_ptr_update(zone.origin, "10.0.0.1", "x.example.edu", replace=False)
+        message.authority += foreign.authority
+        response = handler.handle(message)
+        assert response.rcode is Rcode.REFUSED
+        # Atomicity: nothing was applied, not even the in-zone record.
+        assert zone.get_ptr("192.0.2.10") is None
+
+    def test_non_update_opcode_notimp(self, zone, handler):
+        query = DnsMessage.query(zone.origin)
+        assert handler.handle(query).rcode is Rcode.NOTIMP
+
+    def test_missing_zone_section_formerr(self, zone, handler):
+        message = DnsMessage(opcode=Opcode.UPDATE)
+        assert handler.handle(message).rcode is Rcode.FORMERR
+
+
+class TestDnsUpdateClient:
+    def test_set_and_remove_over_the_wire(self, zone, handler):
+        client = DnsUpdateClient(handler)
+        assert client.set_ptr("192.0.2.10", "h.campus.example.edu", at=10) is Rcode.NOERROR
+        assert zone.get_hostname("192.0.2.10") == "h.campus.example.edu"
+        assert client.remove_ptr("192.0.2.10", at=20) is Rcode.NOERROR
+        assert zone.get_ptr("192.0.2.10") is None
+        assert client.updates_sent == 2
+
+    def test_object_path_equivalent(self, zone, handler):
+        client = DnsUpdateClient(handler, use_wire_format=False)
+        assert client.set_ptr("192.0.2.10", "h.example.edu") is Rcode.NOERROR
+        assert zone.get_hostname("192.0.2.10") == "h.example.edu"
+
+
+class TestIpamOverRfc2136:
+    def test_full_stack_runs_on_the_protocol_path(self):
+        from repro.dhcp import AddressPool, DhcpClient, DhcpServer
+        from repro.ipam import CarryOverPolicy, IpamSystem
+
+        zone = ReverseZone("192.0.2.0/24")
+        server = DhcpServer(AddressPool("192.0.2.0/24"), lease_time=3600)
+        ipam = IpamSystem(zone, CarryOverPolicy("campus.example.edu"), use_rfc2136=True).attach(server)
+        client = DhcpClient("c1", host_name="Brian's iPhone")
+        address = client.join(server, now=0)
+        assert zone.get_hostname(address) == "brians-iphone.campus.example.edu"
+        client.leave(server, now=600)
+        assert zone.get_ptr(address) is None
+        assert ipam.rfc2136_updates_sent == 2
+
+    def test_direct_mode_sends_no_updates(self):
+        from repro.ipam import CarryOverPolicy, IpamSystem
+
+        zone = ReverseZone("192.0.2.0/24")
+        ipam = IpamSystem(zone, CarryOverPolicy("x.example"))
+        assert ipam.rfc2136_updates_sent == 0

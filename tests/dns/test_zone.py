@@ -1,0 +1,137 @@
+"""Tests for reverse zones, dynamic update and the change journal."""
+
+import ipaddress
+
+import pytest
+
+from repro.dns import Rcode, RecordType, ReverseZone, ZoneChangeKind, ZoneError, reverse_pointer
+from repro.dns.name import DomainName
+
+
+@pytest.fixture
+def zone():
+    return ReverseZone("192.0.2.0/24")
+
+
+class TestZoneBasics:
+    def test_origin_derived_from_prefix(self, zone):
+        assert zone.origin.to_text() == "2.0.192.in-addr.arpa."
+
+    def test_new_zone_is_empty(self, zone):
+        assert len(zone) == 0
+        assert zone.serial == 1
+
+    def test_covers(self, zone):
+        assert zone.covers("192.0.2.200")
+        assert not zone.covers("192.0.3.1")
+
+
+class TestDynamicUpdate:
+    def test_set_ptr_adds_record(self, zone):
+        change = zone.set_ptr("192.0.2.10", "brians-iphone.campus.example.edu", at=100)
+        assert change.kind is ZoneChangeKind.ADD
+        assert change.new_hostname == "brians-iphone.campus.example.edu"
+        assert zone.get_hostname("192.0.2.10") == "brians-iphone.campus.example.edu"
+        assert len(zone) == 1
+
+    def test_set_ptr_bumps_serial(self, zone):
+        before = zone.serial
+        zone.set_ptr("192.0.2.10", "a.example.edu")
+        assert zone.serial == before + 1
+
+    def test_replace_records_old_and_new(self, zone):
+        zone.set_ptr("192.0.2.10", "a.example.edu", at=1)
+        change = zone.set_ptr("192.0.2.10", "b.example.edu", at=2)
+        assert change.kind is ZoneChangeKind.REPLACE
+        assert change.old_hostname == "a.example.edu"
+        assert change.new_hostname == "b.example.edu"
+
+    def test_idempotent_reassert_does_not_bump_serial(self, zone):
+        zone.set_ptr("192.0.2.10", "a.example.edu")
+        serial = zone.serial
+        journal_len = len(zone.journal)
+        zone.set_ptr("192.0.2.10", "a.example.edu")
+        assert zone.serial == serial
+        assert len(zone.journal) == journal_len
+
+    def test_remove_ptr(self, zone):
+        zone.set_ptr("192.0.2.10", "a.example.edu", at=1)
+        change = zone.remove_ptr("192.0.2.10", at=2)
+        assert change.kind is ZoneChangeKind.REMOVE
+        assert change.old_hostname == "a.example.edu"
+        assert zone.get_ptr("192.0.2.10") is None
+        assert len(zone) == 0
+
+    def test_remove_missing_ptr_returns_none(self, zone):
+        assert zone.remove_ptr("192.0.2.10") is None
+        assert zone.serial == 1
+
+    def test_out_of_prefix_update_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.set_ptr("10.0.0.1", "a.example.edu")
+        with pytest.raises(ZoneError):
+            zone.remove_ptr("10.0.0.1")
+
+    def test_journal_is_ordered_and_complete(self, zone):
+        zone.set_ptr("192.0.2.1", "a.example.edu", at=10)
+        zone.set_ptr("192.0.2.1", "b.example.edu", at=20)
+        zone.remove_ptr("192.0.2.1", at=30)
+        kinds = [c.kind for c in zone.journal]
+        assert kinds == [ZoneChangeKind.ADD, ZoneChangeKind.REPLACE, ZoneChangeKind.REMOVE]
+        assert [c.at for c in zone.journal] == [10, 20, 30]
+
+
+class TestLookup:
+    def test_lookup_existing_ptr(self, zone):
+        zone.set_ptr("192.0.2.10", "a.example.edu")
+        rcode, answers = zone.lookup(reverse_pointer("192.0.2.10"), RecordType.PTR)
+        assert rcode is Rcode.NOERROR
+        assert answers[0].rdata_text() == "a.example.edu."
+
+    def test_lookup_missing_ptr_is_nxdomain(self, zone):
+        rcode, answers = zone.lookup(reverse_pointer("192.0.2.10"), RecordType.PTR)
+        assert rcode is Rcode.NXDOMAIN
+        assert answers == []
+
+    def test_lookup_soa_at_origin(self, zone):
+        rcode, answers = zone.lookup(zone.origin, RecordType.SOA)
+        assert rcode is Rcode.NOERROR
+        assert answers[0].rtype is RecordType.SOA
+
+    def test_lookup_wrong_type_is_nodata(self, zone):
+        zone.set_ptr("192.0.2.10", "a.example.edu")
+        rcode, answers = zone.lookup(reverse_pointer("192.0.2.10"), RecordType.A)
+        assert rcode is Rcode.NOERROR
+        assert answers == []
+
+    def test_lookup_out_of_zone_raises(self, zone):
+        with pytest.raises(ZoneError):
+            zone.lookup(DomainName.parse("www.example.com"), RecordType.PTR)
+
+    def test_lookup_garbage_in_zone_name_is_nxdomain(self, zone):
+        weird = zone.origin.child("2").child("notanoctet")
+        rcode, _ = zone.lookup(weird, RecordType.PTR)
+        assert rcode is Rcode.NXDOMAIN
+
+
+class TestIntrospection:
+    def test_entries_in_address_order(self, zone):
+        zone.set_ptr("192.0.2.20", "b.example.edu")
+        zone.set_ptr("192.0.2.3", "a.example.edu")
+        entries = list(zone.entries())
+        assert entries == [
+            (ipaddress.IPv4Address("192.0.2.3"), "a.example.edu"),
+            (ipaddress.IPv4Address("192.0.2.20"), "b.example.edu"),
+        ]
+
+    def test_contains(self, zone):
+        zone.set_ptr("192.0.2.7", "a.example.edu")
+        assert "192.0.2.7" in zone
+        assert "192.0.2.8" not in zone
+        assert "not-an-ip" not in zone
+
+    def test_slash16_zone(self):
+        zone = ReverseZone("172.16.0.0/16")
+        zone.set_ptr("172.16.200.9", "x.example.org")
+        assert zone.origin.to_text() == "16.172.in-addr.arpa."
+        assert zone.get_hostname("172.16.200.9") == "x.example.org"

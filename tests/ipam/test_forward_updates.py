@@ -1,0 +1,87 @@
+"""Tests for IPAM-driven forward-DNS updates (future-work extension)."""
+
+import pytest
+
+from repro.dhcp import AddressPool, ClientFqdn, DhcpClient, DhcpServer
+from repro.dns import ReverseZone
+from repro.dns.forward import ForwardZone
+from repro.ipam import CarryOverPolicy, IpamSystem
+from repro.ipam.system import FORWARD_CLIENT_REQUESTED, FORWARD_NEVER
+
+
+def build_stack(forward_updates="always"):
+    reverse = ReverseZone("192.0.2.0/24")
+    forward = ForwardZone("campus.example.edu")
+    server = DhcpServer(AddressPool("192.0.2.0/24"), lease_time=3600)
+    ipam = IpamSystem(
+        reverse,
+        CarryOverPolicy("campus.example.edu"),
+        forward_zone=forward,
+        forward_updates=forward_updates,
+    ).attach(server)
+    return reverse, forward, server, ipam
+
+
+class TestForwardUpdates:
+    def test_bind_adds_both_records(self):
+        reverse, forward, server, _ = build_stack()
+        client = DhcpClient("c1", host_name="Brian's iPhone")
+        address = client.join(server, now=0)
+        assert reverse.get_hostname(address) == "brians-iphone.campus.example.edu"
+        assert forward.get_address("brians-iphone.campus.example.edu") == address
+
+    def test_release_removes_both(self):
+        reverse, forward, server, _ = build_stack()
+        client = DhcpClient("c1", host_name="Brian's iPhone")
+        address = client.join(server, now=0)
+        client.leave(server, now=60)
+        assert reverse.get_ptr(address) is None
+        assert len(forward) == 0
+
+    def test_expiry_removes_both(self):
+        reverse, forward, server, _ = build_stack()
+        client = DhcpClient("c1", host_name="Brian's iPhone", sends_release=False)
+        client.join(server, now=0)
+        client.leave(server, now=60)
+        server.expire_leases(now=3600)
+        assert len(forward) == 0
+
+    def test_never_mode_skips_forward(self):
+        reverse, forward, server, _ = build_stack(forward_updates=FORWARD_NEVER)
+        client = DhcpClient("c1", host_name="Brian's iPhone")
+        address = client.join(server, now=0)
+        assert reverse.get_ptr(address) is not None
+        assert len(forward) == 0
+
+    def test_client_requested_mode_requires_s_flag(self):
+        reverse, forward, server, _ = build_stack(forward_updates=FORWARD_CLIENT_REQUESTED)
+        silent = DhcpClient("c1", host_name="Box One")
+        silent.join(server, now=0)
+        assert len(forward) == 0
+        asking = DhcpClient(
+            "c2",
+            host_name="Box Two",
+            client_fqdn=ClientFqdn("box-two.campus.example.edu", server_updates=True),
+        )
+        asking.join(server, now=0)
+        assert len(forward) == 1
+
+    def test_invalid_mode_rejected(self):
+        reverse = ReverseZone("192.0.2.0/24")
+        with pytest.raises(ValueError):
+            IpamSystem(
+                reverse,
+                CarryOverPolicy("x.example"),
+                forward_zone=ForwardZone("x.example"),
+                forward_updates="sometimes",
+            )
+
+    def test_out_of_zone_hostname_skipped_quietly(self):
+        reverse = ReverseZone("192.0.2.0/24")
+        forward = ForwardZone("other.example.org")  # policy suffix is elsewhere
+        server = DhcpServer(AddressPool("192.0.2.0/24"), lease_time=3600)
+        IpamSystem(reverse, CarryOverPolicy("campus.example.edu"), forward_zone=forward).attach(server)
+        client = DhcpClient("c1", host_name="Brian's iPhone")
+        address = client.join(server, now=0)
+        assert reverse.get_ptr(address) is not None
+        assert len(forward) == 0

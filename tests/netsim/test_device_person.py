@@ -1,0 +1,156 @@
+"""Tests for devices, naming, and person/population generation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.datasets.names import OTHER_GIVEN_NAMES, TOP_GIVEN_NAMES
+from repro.netsim.behavior import ProfileKind
+from repro.netsim.device import (
+    Device,
+    DeviceKind,
+    DeviceNaming,
+    MODEL_CATALOG,
+    model_by_key,
+    sample_model,
+)
+from repro.netsim.person import PersonGenerator
+from repro.netsim.rng import RngStreams
+
+WEEKDAY = dt.date(2021, 11, 3)
+
+
+class TestDeviceModels:
+    def test_catalog_covers_paper_terms(self):
+        keys = {model.key for model, _ in MODEL_CATALOG}
+        for term in ("iphone", "ipad", "air", "mbp", "galaxy-note9", "dell", "lenovo", "roku"):
+            assert term in keys
+
+    def test_model_by_key(self):
+        assert model_by_key("iphone").kind is DeviceKind.PHONE
+        with pytest.raises(KeyError):
+            model_by_key("zune")
+
+    def test_possessive_name_capitalises_owner(self):
+        assert model_by_key("iphone").possessive_name("brian") == "Brian's iPhone"
+        assert model_by_key("galaxy-note9").possessive_name("brian") == "Brians-Galaxy-Note9"
+
+    def test_sample_model_deterministic(self):
+        rngs_a, rngs_b = RngStreams(3), RngStreams(3)
+        models_a = [sample_model(rngs_a.stream("m")).key for _ in range(20)]
+        models_b = [sample_model(rngs_b.stream("m")).key for _ in range(20)]
+        assert models_a == models_b
+
+
+class TestDeviceNaming:
+    def make_device(self, naming, model="iphone", owner="brian"):
+        return Device(
+            device_id="d1",
+            model=model_by_key(model),
+            naming=naming,
+            owner_name=owner,
+            owner_id="p1",
+        )
+
+    def test_owner_possessive(self):
+        assert self.make_device(DeviceNaming.OWNER_POSSESSIVE).host_name() == "Brian's iPhone"
+
+    def test_possessive_without_owner_falls_back(self):
+        device = self.make_device(DeviceNaming.OWNER_POSSESSIVE, owner=None)
+        assert device.host_name() == "iPhone"
+
+    def test_standalone(self):
+        assert self.make_device(DeviceNaming.STANDALONE).host_name() == "iPhone"
+
+    def test_generic(self):
+        device = self.make_device(DeviceNaming.GENERIC)
+        device.generic_suffix = "ab12cd"
+        assert device.host_name() == "DESKTOP-AB12CD"
+
+    def test_none(self):
+        assert self.make_device(DeviceNaming.NONE).host_name() is None
+
+
+class TestDeviceSessions:
+    def test_owner_devices_share_sessions(self):
+        rngs = RngStreams(1)
+        base = dict(
+            model=model_by_key("iphone"),
+            naming=DeviceNaming.OWNER_POSSESSIVE,
+            owner_name="emma",
+            owner_id="person-1",
+        )
+        phone = Device(device_id="d-phone", session_participation=1.0, **base)
+        twin = Device(device_id="d-twin", session_participation=1.0, **base)
+        assert phone.sessions_for_day(WEEKDAY, rngs) == twin.sessions_for_day(WEEKDAY, rngs)
+
+    def test_participation_filters_sessions(self):
+        rngs = RngStreams(1)
+        common = dict(
+            model=model_by_key("mbp"),
+            naming=DeviceNaming.OWNER_POSSESSIVE,
+            owner_name="emma",
+            owner_id="person-1",
+        )
+        always = Device(device_id="d-a", session_participation=1.0, **common)
+        never = Device(device_id="d-b", session_participation=0.0, **common)
+        days_with_sessions = 0
+        for offset in range(30):
+            day = WEEKDAY + dt.timedelta(days=offset)
+            if always.sessions_for_day(day, rngs):
+                days_with_sessions += 1
+            assert never.sessions_for_day(day, rngs) == []
+        assert days_with_sessions > 5
+
+    def test_sessions_deterministic(self):
+        rngs = RngStreams(7)
+        device = Device(
+            device_id="d-x",
+            model=model_by_key("iphone"),
+            naming=DeviceNaming.STANDALONE,
+            owner_id="p-x",
+        )
+        assert device.sessions_for_day(WEEKDAY, rngs) == device.sessions_for_day(WEEKDAY, rngs)
+
+
+class TestPersonGenerator:
+    def make_generator(self, **kwargs):
+        return PersonGenerator(RngStreams(11).stream("population"), **kwargs)
+
+    def test_population_is_deterministic(self):
+        people_a = self.make_generator().make_population(10)
+        people_b = self.make_generator().make_population(10)
+        assert [p.given_name for p in people_a] == [p.given_name for p in people_b]
+
+    def test_names_come_from_known_pools(self):
+        people = self.make_generator().make_population(50)
+        pool = set(TOP_GIVEN_NAMES) | set(OTHER_GIVEN_NAMES)
+        assert all(person.given_name in pool for person in people)
+
+    def test_top50_share_respected(self):
+        all_top = self.make_generator(top50_share=1.0).make_population(40)
+        assert all(p.given_name in TOP_GIVEN_NAMES for p in all_top)
+        none_top = self.make_generator(top50_share=0.0).make_population(40)
+        assert all(p.given_name in OTHER_GIVEN_NAMES for p in none_top)
+
+    def test_each_person_has_devices(self):
+        people = self.make_generator().make_population(30)
+        assert all(1 <= len(person.devices) <= 3 for person in people)
+
+    def test_device_ownership_metadata(self):
+        person = self.make_generator().make_person("p1", profile_kind=ProfileKind.STUDENT)
+        for device in person.devices:
+            assert device.owner_id == "p1"
+            assert device.owner_name == person.given_name
+            assert device.profile is person.profile
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_generator(top50_share=1.5)
+
+    def test_popular_names_more_frequent(self):
+        generator = self.make_generator(top50_share=1.0)
+        names = [generator.draw_name() for _ in range(3000)]
+        jacob = names.count("jacob")
+        ashley = names.count("ashley")  # rank 50
+        assert jacob > ashley

@@ -1,0 +1,67 @@
+"""Tests for the supplemental campaign."""
+
+import datetime as dt
+
+import pytest
+
+from repro.netsim.internet import WorldScale, build_world
+from repro.scan import SupplementalCampaign
+from repro.scan.campaign import SUPPLEMENTAL_NETWORKS
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    world = build_world(seed=7, scale=WorldScale.small())
+    campaign = SupplementalCampaign(world)
+    return campaign.run(dt.date(2021, 11, 1), dt.date(2021, 11, 2))
+
+
+class TestCampaignRun:
+    def test_all_nine_networks_targeted(self, dataset):
+        assert set(dataset.targets_by_network) == set(SUPPLEMENTAL_NETWORKS)
+
+    def test_observations_collected(self, dataset):
+        assert dataset.icmp
+        assert dataset.rdns
+
+    def test_icmp_stats_schema(self, dataset):
+        total, unique = dataset.icmp_stats()
+        assert total >= unique > 0
+
+    def test_rdns_stats_schema(self, dataset):
+        total, unique_ips, unique_ptrs = dataset.rdns_stats()
+        assert total >= unique_ips > 0
+        assert unique_ptrs > 0
+
+    def test_ping_blocking_enterprises_invisible(self, dataset):
+        assert dataset.responsive_addresses("Enterprise-B") == 0
+        assert dataset.responsive_addresses("Enterprise-C") == 0
+
+    def test_academic_b_exactly_two_hosts(self, dataset):
+        assert dataset.responsive_addresses("Academic-B") == 2
+
+    def test_academic_b_hosts_have_no_ptr(self, dataset):
+        b_addresses = {o.address for o in dataset.icmp if o.network == "Academic-B"}
+        b_hostnames = {
+            o.hostname for o in dataset.rdns if o.network == "Academic-B" and o.ok
+        }
+        assert len(b_addresses) == 2
+        assert b_hostnames == set()
+
+    def test_table4_rows_cover_all_networks(self, dataset):
+        rows = dataset.table4_rows()
+        assert len(rows) == 9
+        by_name = {row[0]: row for row in rows}
+        assert by_name["Enterprise-B"][4] == 0.0
+        assert by_name["Academic-A"][4] > by_name["ISP-B"][4]
+
+    def test_error_rows_ordered_by_day(self, dataset):
+        rows = dataset.error_rows()
+        days = [row[0] for row in rows]
+        assert days == sorted(days)
+        assert all(row[1] >= row[2] + row[3] + row[4] for row in rows)
+
+    def test_invalid_period_rejected(self):
+        world = build_world(seed=7, scale=WorldScale.small())
+        with pytest.raises(ValueError):
+            SupplementalCampaign(world).run(dt.date(2021, 11, 2), dt.date(2021, 11, 1))

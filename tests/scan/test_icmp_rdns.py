@@ -1,0 +1,142 @@
+"""Tests for the ICMP sweeper and rDNS lookup engine."""
+
+import datetime as dt
+
+import pytest
+
+from repro.dns.resolver import ResolutionStatus, StubResolver
+from repro.ipam import CarryOverPolicy
+from repro.netsim.behavior import ScriptedProfile, Session
+from repro.netsim.device import Device, DeviceNaming, model_by_key
+from repro.netsim.engine import SimulationEngine
+from repro.netsim.finegrained import NetworkRuntime
+from repro.netsim.network import IcmpPolicy, Network, NetworkType, Subnet, SubnetRole
+from repro.netsim.rng import RngStreams
+from repro.netsim.simtime import DAY, HOUR, from_date
+from repro.scan import IcmpScanner, RdnsLookupEngine, TokenBucket
+
+START = dt.date(2021, 11, 1)
+
+
+def always_on_device(device_id="d1", icmp=True):
+    return Device(
+        device_id=device_id,
+        model=model_by_key("iphone"),
+        naming=DeviceNaming.OWNER_POSSESSIVE,
+        owner_name="brian",
+        owner_id=device_id,
+        profile=ScriptedProfile(lambda day: [Session(0, DAY)]),
+        icmp_responds=icmp,
+    )
+
+
+@pytest.fixture
+def running_network():
+    network = Network(
+        "testnet",
+        NetworkType.ACADEMIC,
+        "10.0.0.0/16",
+        "campus.example.edu",
+        rngs=RngStreams(0),
+    )
+    network.add_subnet(
+        Subnet(
+            "10.0.10.0/24",
+            SubnetRole.EDUCATION,
+            devices=[always_on_device("d1"), always_on_device("d2", icmp=False)],
+            policy=CarryOverPolicy("campus.example.edu"),
+        )
+    )
+    engine = SimulationEngine(start=from_date(START))
+    runtime = NetworkRuntime(network, engine)
+    runtime.start(START, START)
+    engine.run_until(from_date(START) + 12 * HOUR)
+    return network, engine, runtime
+
+
+class TestIcmpScanner:
+    def test_sweep_reports_responders_only(self, running_network):
+        network, engine, runtime = running_network
+        scanner = IcmpScanner({"testnet": runtime})
+        observations = scanner.sweep(["10.0.10.0/24"], engine.now)
+        assert len(observations) == 1  # d2 does not respond to pings
+        assert observations[0].network == "testnet"
+
+    def test_blocklist_suppresses_probes(self, running_network):
+        network, engine, runtime = running_network
+        scanner = IcmpScanner({"testnet": runtime}, blocklist=["10.0.10.0/24"])
+        assert scanner.sweep(["10.0.10.0/24"], engine.now) == []
+        assert scanner.probes_sent == 0
+        assert scanner.probes_suppressed == 256
+
+    def test_blocklist_single_address(self, running_network):
+        network, engine, runtime = running_network
+        scanner = IcmpScanner({"testnet": runtime})
+        online = runtime.online_addresses()[0]
+        scanner.add_to_blocklist(str(online))
+        assert scanner.sweep(["10.0.10.0/24"], engine.now) == []
+
+    def test_probe_single_address(self, running_network):
+        network, engine, runtime = running_network
+        scanner = IcmpScanner({"testnet": runtime})
+        online = runtime.online_addresses()[0]
+        observation = scanner.probe(online, engine.now)
+        assert observation is not None
+        assert observation.address == online
+        assert scanner.probe("10.0.10.200", engine.now) is None
+
+    def test_rate_limit_suppresses(self, running_network):
+        network, engine, runtime = running_network
+        scanner = IcmpScanner(
+            {"testnet": runtime}, rate_limit=TokenBucket(rate=0.001, burst=10)
+        )
+        scanner.sweep(["10.0.10.0/24"], engine.now)
+        assert scanner.probes_sent == 10
+        assert scanner.probes_suppressed == 246
+
+    def test_unknown_space_is_silent(self, running_network):
+        network, engine, runtime = running_network
+        scanner = IcmpScanner({"testnet": runtime})
+        assert scanner.sweep(["192.168.1.0/30"], engine.now) == []
+
+
+class TestRdnsLookupEngine:
+    def make_engine(self, running_network, **kwargs):
+        network, engine, runtime = running_network
+        resolver = StubResolver()
+        resolver.delegate(network.server)
+        return network, engine, runtime, RdnsLookupEngine(resolver, **kwargs)
+
+    def test_lookup_live_record(self, running_network):
+        network, engine, runtime, rdns = self.make_engine(running_network)
+        online = runtime.online_addresses()[0]
+        observation = rdns.lookup(online, engine.now, network="testnet")
+        assert observation.ok
+        assert observation.hostname.endswith("campus.example.edu")
+        assert rdns.lookups_performed == 1
+
+    def test_lookup_missing_record(self, running_network):
+        network, engine, runtime, rdns = self.make_engine(running_network)
+        observation = rdns.lookup("10.0.10.200", engine.now)
+        assert observation.status is ResolutionStatus.NXDOMAIN
+
+    def test_status_counting_and_error_rate(self, running_network):
+        network, engine, runtime, rdns = self.make_engine(running_network)
+        online = runtime.online_addresses()[0]
+        rdns.lookup(online, engine.now)
+        rdns.lookup("10.0.10.200", engine.now)
+        assert rdns.status_counts[ResolutionStatus.NOERROR] == 1
+        assert rdns.status_counts[ResolutionStatus.NXDOMAIN] == 1
+        assert rdns.error_rate == pytest.approx(0.5)
+
+    def test_rate_limited_lookup_returns_none(self, running_network):
+        network, engine, runtime, rdns = self.make_engine(
+            running_network, rate_limit=TokenBucket(rate=0.001, burst=1)
+        )
+        assert rdns.lookup("10.0.10.200", engine.now) is not None
+        assert rdns.lookup("10.0.10.201", engine.now) is None
+        assert rdns.lookups_suppressed == 1
+
+    def test_zero_lookups_zero_error_rate(self, running_network):
+        _, _, _, rdns = self.make_engine(running_network)
+        assert rdns.error_rate == 0.0

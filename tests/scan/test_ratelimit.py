@@ -1,0 +1,59 @@
+"""Tests for the token bucket."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scan import TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_available_immediately(self):
+        bucket = TokenBucket(rate=1.0, burst=5)
+        assert all(bucket.acquire(0) for _ in range(5))
+        assert not bucket.acquire(0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate=2.0, burst=2)
+        bucket.acquire(0)
+        bucket.acquire(0)
+        assert not bucket.acquire(0)
+        assert bucket.acquire(1)  # 2 tokens accrued by t=1
+        assert bucket.acquire(1)
+        assert not bucket.acquire(1)
+
+    def test_does_not_exceed_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=3)
+        assert bucket.available == 3
+        bucket.acquire(100)
+        assert bucket.available == 2
+
+    def test_delay_until_available(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        bucket.acquire(0)
+        assert bucket.delay_until_available(0) == pytest.approx(0.5)
+        assert bucket.delay_until_available(10) == 0.0
+
+    def test_time_cannot_go_backwards(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        bucket.acquire(10)
+        with pytest.raises(ValueError):
+            bucket.acquire(5)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0.5)
+
+    @given(st.floats(min_value=0.5, max_value=100), st.integers(min_value=1, max_value=50))
+    def test_long_run_rate_respected(self, rate, burst):
+        bucket = TokenBucket(rate=rate, burst=burst)
+        horizon = 100.0
+        granted = 0
+        t = 0.0
+        while t <= horizon:
+            if bucket.acquire(t):
+                granted += 1
+            t += 0.01
+        assert granted <= burst + rate * horizon + 1

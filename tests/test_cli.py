@@ -1,0 +1,146 @@
+"""Tests for the command-line interface (quick-world paths only)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_bad_date(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--start", "yesterday"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.seed == 42
+        assert not args.quick
+
+
+class TestStudyCommand:
+    def test_quick_study_prints_findings(self):
+        code, output = run_cli("--quick", "--seed", "1", "study")
+        assert code == 0
+        assert "dynamic" in output
+        assert "Identified identity-leaking networks" in output
+        assert "stateu.edu" in output
+        assert "academic" in output
+
+
+class TestCampaignCommand:
+    def test_campaign_with_csv_export(self, tmp_path):
+        icmp_csv = tmp_path / "icmp.csv"
+        rdns_csv = tmp_path / "rdns.csv"
+        code, output = run_cli(
+            "--quick", "--seed", "1", "campaign",
+            "--start", "2021-11-01", "--end", "2021-11-02",
+            "--networks", "Academic-C",
+            "--icmp-csv", str(icmp_csv), "--rdns-csv", str(rdns_csv),
+        )
+        assert code == 0
+        assert "Campaign 2021-11-01..2021-11-02" in output
+        assert "Academic-C" in output
+        assert icmp_csv.exists() and rdns_csv.exists()
+        assert len(icmp_csv.read_text().splitlines()) > 1
+
+
+class TestTrackCommand:
+    def test_tracking_brian_on_academic_a(self):
+        code, output = run_cli(
+            "--quick", "--seed", "1", "track", "brian",
+            "--network", "Academic-A",
+            "--start", "2021-11-01", "--end", "2021-11-03",
+        )
+        assert code == 0
+        assert "brians-" in output
+
+    def test_tracking_unknown_name_reports_nothing(self):
+        code, output = run_cli(
+            "--quick", "--seed", "1", "track", "zebediah",
+            "--network", "Academic-C",
+            "--start", "2021-11-01", "--end", "2021-11-01",
+        )
+        assert code == 1
+        assert "no devices" in output
+
+
+class TestHeistCommand:
+    def test_heist_recommendation(self):
+        code, output = run_cli(
+            "--quick", "--seed", "1", "heist",
+            "--network", "Academic-C",
+            "--start", "2021-11-01", "--end", "2021-11-03",
+        )
+        assert code == 0
+        assert "Quietest weekday hour" in output
+
+
+class TestSnapshotCommand:
+    def test_snapshot_dump(self):
+        code, output = run_cli(
+            "--quick", "--seed", "1", "snapshot", "--date", "2021-03-03",
+            "--network", "Academic-A", "--limit", "10",
+        )
+        assert code == 0
+        assert "campus.stateu.edu" in output
+
+    def test_snapshot_respects_limit(self):
+        code, output = run_cli(
+            "--quick", "--seed", "1", "snapshot", "--date", "2021-03-03", "--limit", "5"
+        )
+        data_lines = [line for line in output.splitlines() if "\t" in line]
+        assert len(data_lines) == 5
+
+
+class TestAuditCommand:
+    def test_audit_grades_networks(self):
+        code, output = run_cli(
+            "--quick", "--seed", "1", "audit",
+            "--start", "2021-11-01", "--end", "2021-11-02",
+            "--networks", "Academic-C", "ISP-A",
+        )
+        assert code == 0
+        assert "Grade" in output
+        assert "Academic-C" in output
+
+
+class TestSpecAndSave:
+    def test_campaign_from_spec_with_save(self, tmp_path):
+        import json
+
+        spec = {
+            "seed": 3,
+            "networks": [
+                {
+                    "kind": "enterprise",
+                    "name": "Spec-Corp",
+                    "prefix": "10.50.0.0/16",
+                    "suffix": "corp.spec.example",
+                    "office_prefix": "10.50.1.0/24",
+                    "employees": 10,
+                    "supplemental": True,
+                }
+            ],
+        }
+        spec_path = tmp_path / "world.json"
+        spec_path.write_text(json.dumps(spec))
+        save_dir = tmp_path / "dataset"
+        code, output = run_cli(
+            "--spec", str(spec_path), "campaign",
+            "--start", "2021-11-01", "--end", "2021-11-01",
+            "--save-dir", str(save_dir),
+        )
+        assert code == 0
+        assert "Spec-Corp" in output
+        assert (save_dir / "dataset.json").exists()
