@@ -13,7 +13,7 @@ import argparse
 import datetime as dt
 
 from repro.core import HeistPlanner, hourly_activity
-from repro.netsim.internet import WorldScale, build_world
+from repro.netsim.internet import build_world
 from repro.scan import SupplementalCampaign
 
 
@@ -23,7 +23,8 @@ def main() -> None:
     parser.add_argument("--network", default="Academic-A")
     args = parser.parse_args()
 
-    start, end = dt.date(2021, 11, 1), dt.date(2021, 11, 7)
+    # One full week, half-open: [Nov 1, Nov 8) measures Nov 1-7.
+    start, end = dt.date(2021, 11, 1), dt.date(2021, 11, 8)
     print(f"Building the world and measuring {args.network}, {start} .. {end} ...")
     world = build_world(seed=args.seed)
     dataset = SupplementalCampaign(world, networks=[args.network]).run(start, end)

@@ -29,8 +29,9 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=42)
     args = parser.parse_args()
 
+    # Half-open window [start, end): the last measured day is Dec 5.
     start = dt.date(2021, 11, 15) if args.quick else dt.date(2021, 10, 25)
-    end = dt.date(2021, 12, 5)
+    end = dt.date(2021, 12, 6)
 
     print(f"Building the world (seed={args.seed}) ...")
     world = build_world(seed=args.seed, scale=WorldScale.small() if args.quick else None)
@@ -40,7 +41,7 @@ def main() -> None:
     print(f"  {len(dataset.icmp):,} ICMP responses, {len(dataset.rdns):,} rDNS observations\n")
 
     tracker = DeviceTracker(dataset.rdns)
-    days = (end - start).days + 1
+    days = (end - start).days
     matrix = tracker.presence_matrix(
         "brian", start, days, network="Academic-A", labels=BRIAN_HOSTNAME_LABELS
     )

@@ -28,7 +28,7 @@ from repro.netsim.spec import build_world_from_file
 from repro.netsim.network import NetworkType
 from repro.netsim.personas import BRIAN_HOSTNAME_LABELS
 from repro.reporting import TextTable
-from repro.scan import SupplementalCampaign, write_icmp_csv, write_rdns_csv
+from repro.scan import SnapshotCache, SupplementalCampaign, write_icmp_csv, write_rdns_csv
 
 
 def _parse_date(text: str) -> dt.date:
@@ -50,13 +50,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--spec", help="build the world from a JSON spec file instead of the built-in one"
     )
-    commands = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers for snapshot collection (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--snapshot-cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "enable the on-disk snapshot cache; optional DIR overrides the "
+            "default root (~/.cache/repro-rdns/snapshots, or $REPRO_SNAPSHOT_CACHE)"
+        ),
+    )
+    parser.add_argument(
+        "--clear-snapshot-cache",
+        action="store_true",
+        help="drop every cached snapshot series, then continue",
+    )
+    parser.add_argument(
+        "--timings", action="store_true", help="print collection timing and cache counters"
+    )
+    # Not required at the argparse level: --clear-snapshot-cache may be
+    # the whole invocation.  main() rejects a missing command otherwise.
+    commands = parser.add_subparsers(dest="command", required=False)
 
+    # All --start/--end windows are half-open: --end itself is not measured.
     commands.add_parser("study", help="dynamicity + leak identification (Sections 4-5)")
 
     campaign = commands.add_parser("campaign", help="supplemental measurement (Section 6)")
     campaign.add_argument("--start", type=_parse_date, default=dt.date(2021, 11, 1))
-    campaign.add_argument("--end", type=_parse_date, default=dt.date(2021, 11, 7))
+    campaign.add_argument(
+        "--end", type=_parse_date, default=dt.date(2021, 11, 8), help="exclusive end date"
+    )
     campaign.add_argument("--networks", nargs="*", default=None, help="subset of Table-4 networks")
     campaign.add_argument("--icmp-csv", help="write raw ICMP observations here")
     campaign.add_argument("--rdns-csv", help="write raw rDNS observations here")
@@ -66,19 +96,25 @@ def build_parser() -> argparse.ArgumentParser:
     track.add_argument("name", help="given name to follow, e.g. brian")
     track.add_argument("--network", default="Academic-A")
     track.add_argument("--start", type=_parse_date, default=dt.date(2021, 11, 1))
-    track.add_argument("--end", type=_parse_date, default=dt.date(2021, 11, 14))
+    track.add_argument(
+        "--end", type=_parse_date, default=dt.date(2021, 11, 15), help="exclusive end date"
+    )
 
     heist = commands.add_parser("heist", help="find the quietest hour (Section 7.3)")
     heist.add_argument("--network", default="Academic-A")
     heist.add_argument("--start", type=_parse_date, default=dt.date(2021, 11, 1))
-    heist.add_argument("--end", type=_parse_date, default=dt.date(2021, 11, 7))
+    heist.add_argument(
+        "--end", type=_parse_date, default=dt.date(2021, 11, 8), help="exclusive end date"
+    )
     heist.add_argument("--source", choices=("rdns", "icmp"), default="rdns")
 
     audit = commands.add_parser(
         "audit", help="score each network's rDNS exposure (Section 8 mitigation aid)"
     )
     audit.add_argument("--start", type=_parse_date, default=dt.date(2021, 11, 1))
-    audit.add_argument("--end", type=_parse_date, default=dt.date(2021, 11, 3))
+    audit.add_argument(
+        "--end", type=_parse_date, default=dt.date(2021, 11, 4), help="exclusive end date"
+    )
     audit.add_argument("--networks", nargs="*", default=None)
 
     snapshot = commands.add_parser("snapshot", help="dump one day's PTR records")
@@ -96,8 +132,16 @@ def _world(args):
     return build_world(seed=args.seed, scale=scale)
 
 
+def _snapshot_cache(args) -> Optional[SnapshotCache]:
+    if args.snapshot_cache is None:
+        return None
+    return SnapshotCache(args.snapshot_cache or None)
+
+
 def cmd_study(args, out) -> int:
     config = StudyConfig.quick(args.seed) if args.quick else StudyConfig(seed=args.seed)
+    config.snapshot_workers = args.workers
+    config.snapshot_cache = _snapshot_cache(args)
     study = ReproductionStudy(config)
     report = study.dynamicity()
     print(
@@ -116,6 +160,14 @@ def cmd_study(args, out) -> int:
     print("\nType breakdown (Figure 4):", file=out)
     for net_type in NetworkType:
         print(f"  {net_type.value:<12s} {breakdown[net_type]:5.1f}%", file=out)
+    if args.timings and study.collection_metrics is not None:
+        metrics = study.collection_metrics
+        print(f"\n[timings] snapshot collection: {metrics.describe()}", file=out)
+        if metrics.cache_key is not None:
+            outcome = "hit" if metrics.cache_hit else (
+                "miss, stored" if metrics.cache_stored else "miss"
+            )
+            print(f"[timings] snapshot cache {outcome} (key {metrics.cache_key[:12]}…)", file=out)
     return 0
 
 
@@ -154,7 +206,7 @@ def cmd_track(args, out) -> int:
     campaign = SupplementalCampaign(world, networks=[args.network])
     dataset = campaign.run(args.start, args.end)
     tracker = DeviceTracker(dataset.rdns)
-    days = (args.end - args.start).days + 1
+    days = (args.end - args.start).days
     labels = BRIAN_HOSTNAME_LABELS if args.name.lower() == "brian" and args.network == "Academic-A" else None
     matrix = tracker.presence_matrix(args.name, args.start, days, network=args.network, labels=labels)
     if not any(any(row) for row in matrix.values()):
@@ -241,8 +293,24 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
-    args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out or sys.stdout)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out = out or sys.stdout
+    if args.clear_snapshot_cache:
+        cache = _snapshot_cache(args) or SnapshotCache()
+        removed = cache.clear()
+        print(f"cleared {removed} cached snapshot series from {cache.root}", file=out)
+        if args.command is None:
+            return 0
+    if args.command is None:
+        parser.error("a command is required (or --clear-snapshot-cache)")
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ValueError as error:
+        # Bad user input (e.g. an empty half-open window) — report it
+        # like an argument error instead of a traceback.
+        print(f"{parser.prog}: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

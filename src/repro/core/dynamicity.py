@@ -17,8 +17,10 @@ confidence).
 from __future__ import annotations
 
 import datetime as dt
+import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 from repro.scan.snapshot import SnapshotSeries
 
@@ -44,7 +46,13 @@ class DynamicityThresholds:
 
 @dataclass
 class PrefixDynamicity:
-    """Per-/24 evidence accumulated by the analyzer."""
+    """Per-/24 evidence accumulated by the analyzer.
+
+    ``change_days`` counts snapshot-to-snapshot transitions whose
+    change exceeds X% (at daily cadence, exactly the paper's "days");
+    ``observed_days`` is the calendar span the snapshots cover — for a
+    weekly series of 5 snapshots that is 29 days, not 5.
+    """
 
     prefix: str
     max_daily: int
@@ -61,6 +69,12 @@ class DynamicityReport:
     prefixes: Dict[str, PrefixDynamicity] = field(default_factory=dict)
     #: /24s seen at all, including those dropped in step 1.
     total_observed: int = 0
+    #: Snapshot spacing of the analysed series (1 = daily, 7 = weekly).
+    cadence_days: int = 1
+    #: The Y threshold actually applied, in snapshot transitions —
+    #: ``min_change_days`` rescaled when the cadence is coarser than
+    #: daily (see :meth:`DynamicityAnalyzer.analyze`).
+    effective_min_change_transitions: int = 7
 
     def dynamic_prefixes(self) -> List[str]:
         return sorted(
@@ -82,45 +96,101 @@ class DynamicityAnalyzer:
     def __init__(self, thresholds: DynamicityThresholds = DynamicityThresholds()):
         self.thresholds = thresholds
 
-    def analyze(self, series: Union[SnapshotSeries, DailyCounts]) -> DynamicityReport:
-        """Run the heuristic over daily /24 counts.
+    def analyze(
+        self,
+        series: Union[SnapshotSeries, DailyCounts],
+        *,
+        cadence_days: Optional[int] = None,
+        allow_coarse_cadence: bool = False,
+    ) -> DynamicityReport:
+        """Run the heuristic over a /24 count series.
 
         Accepts a :class:`~repro.scan.snapshot.SnapshotSeries` or a
         plain ``{date: {prefix: count}}`` mapping.  Days are processed
         in date order; a /24 absent on a day counts as zero addresses
         (its records disappeared entirely).
+
+        The paper's thresholds are calibrated for **daily** snapshots:
+        Y (``min_change_days``) counts days with >X% change, and each
+        snapshot-to-snapshot transition spans exactly one day.  A
+        weekly (Rapid7-style) series has 7× fewer transitions per
+        window, so judging it against the same Y silently under-detects
+        dynamic space.  ``cadence_days`` is taken from the series when
+        not given explicitly; a cadence coarser than daily raises
+        unless ``allow_coarse_cadence=True``, in which case Y is
+        rescaled to ``ceil(min_change_days / cadence_days)`` snapshot
+        transitions (a lower-bound-preserving adjustment) and a
+        ``UserWarning`` records the rescaling.
         """
         if isinstance(series, SnapshotSeries):
             days = series.days
             counts_for = series.counts_by_slash24
+            if cadence_days is None:
+                cadence_days = series.cadence_days
         else:
             days = sorted(series)
             counts_for = lambda day: series[day]  # noqa: E731 - tiny adapter
+            if cadence_days is None:
+                cadence_days = self._infer_cadence(days)
         if not days:
             raise ValueError("the series holds no days")
+        if cadence_days < 1:
+            raise ValueError("cadence_days must be at least 1")
+
+        min_transitions = self.thresholds.min_change_days
+        if cadence_days > 1:
+            if not allow_coarse_cadence:
+                raise ValueError(
+                    f"series cadence is {cadence_days} days but the Y threshold "
+                    f"(min_change_days={min_transitions}) assumes daily snapshots; "
+                    "pass allow_coarse_cadence=True to rescale Y to the cadence"
+                )
+            min_transitions = max(
+                1, math.ceil(self.thresholds.min_change_days / cadence_days)
+            )
+            warnings.warn(
+                f"analysing a {cadence_days}-day-cadence series: Y threshold "
+                f"rescaled from {self.thresholds.min_change_days} change days to "
+                f"{min_transitions} snapshot transition(s)",
+                UserWarning,
+                stacklevel=2,
+            )
 
         daily: List[Mapping[str, int]] = [counts_for(day) for day in days]
         all_prefixes = set()
         for counts in daily:
             all_prefixes.update(counts)
 
-        report = DynamicityReport(self.thresholds, total_observed=len(all_prefixes))
+        report = DynamicityReport(
+            self.thresholds,
+            total_observed=len(all_prefixes),
+            cadence_days=cadence_days,
+            effective_min_change_transitions=min_transitions,
+        )
         minimum = self.thresholds.min_daily_addresses
+        observed_days = (len(days) - 1) * cadence_days + 1
         for prefix in all_prefixes:
             history = [counts.get(prefix, 0) for counts in daily]
             max_daily = max(history)
             if max_daily <= minimum:
                 continue  # step 1: discard small prefixes
             change_days = self._count_change_days(history, max_daily)
-            is_dynamic = change_days >= self.thresholds.min_change_days
+            is_dynamic = change_days >= min_transitions
             report.prefixes[prefix] = PrefixDynamicity(
                 prefix=prefix,
                 max_daily=max_daily,
                 change_days=change_days,
-                observed_days=len(history),
+                observed_days=observed_days,
                 is_dynamic=is_dynamic,
             )
         return report
+
+    @staticmethod
+    def _infer_cadence(days: List[dt.date]) -> int:
+        """The smallest gap between consecutive days of a mapping input."""
+        if len(days) < 2:
+            return 1
+        return min((later - earlier).days for earlier, later in zip(days, days[1:]))
 
     def _count_change_days(self, history: List[int], max_daily: int) -> int:
         threshold = self.thresholds.change_percent

@@ -23,18 +23,28 @@ from repro.core.prefixes import AnnouncedPrefixMap
 from repro.core.timing import LingeringAnalysis, lingering_analysis
 from repro.netsim.internet import World, WorldScale, build_world
 from repro.netsim.network import NetworkType
+from repro.scan.cache import SnapshotCache
 from repro.scan.campaign import SupplementalCampaign, SupplementalDataset
-from repro.scan.snapshot import SnapshotCollector, SnapshotSeries
+from repro.scan.snapshot import CollectionMetrics, SnapshotCollector, SnapshotSeries
 
 
 @dataclass
 class StudyConfig:
     """Windows and thresholds for one full reproduction run.
 
-    Dates default to the paper's: dynamicity over 2021-01..2021-03,
-    supplemental measurement 2021-10-25..2021-12-05.  The
-    ``min_unique_names`` default is scaled to simulated-world size (the
-    paper's value is 50 at full-Internet scale).
+    Every window is half-open ``[start, end)``: ``*_end`` dates are
+    exclusive for both the snapshot collector and the supplemental
+    campaign.  Defaults cover the paper's periods — dynamicity over
+    2021-01-01..2021-03-31 and supplemental measurement
+    2021-10-25..2021-12-05 (both inclusive of their last day, hence
+    the exclusive ends of 04-01 and 12-06).  The ``min_unique_names``
+    default is scaled to simulated-world size (the paper's value is 50
+    at full-Internet scale).
+
+    ``snapshot_workers`` fans daily collection over a process pool;
+    ``snapshot_cache`` (a :class:`~repro.scan.cache.SnapshotCache`)
+    reuses previously collected series across runs.  Both are
+    bit-identical to the serial, uncached default.
     """
 
     seed: int = 0
@@ -47,7 +57,9 @@ class StudyConfig:
     )
     leak_sample_days: int = 7
     supplemental_start: dt.date = dt.date(2021, 10, 25)
-    supplemental_end: dt.date = dt.date(2021, 12, 5)
+    supplemental_end: dt.date = dt.date(2021, 12, 6)
+    snapshot_workers: int = 1
+    snapshot_cache: Optional[SnapshotCache] = None
 
     @classmethod
     def quick(cls, seed: int = 0) -> "StudyConfig":
@@ -60,7 +72,7 @@ class StudyConfig:
             leak_thresholds=LeakThresholds(min_unique_names=3, min_ratio=0.05),
             leak_sample_days=7,
             supplemental_start=dt.date(2021, 11, 1),
-            supplemental_end=dt.date(2021, 11, 3),
+            supplemental_end=dt.date(2021, 11, 4),
         )
 
 
@@ -76,6 +88,8 @@ class ReproductionStudy:
         self._supplemental: Optional[SupplementalDataset] = None
         self._groups: Optional[List[ActivityGroup]] = None
         self._group_builder = GroupBuilder()
+        #: Counters from the daily-series collection (None until run).
+        self.collection_metrics: Optional[CollectionMetrics] = None
 
     # -- stages --------------------------------------------------------------
 
@@ -90,8 +104,12 @@ class ReproductionStudy:
         if self._daily_series is None:
             collector = SnapshotCollector.openintel_style(self.world.internet)
             self._daily_series = collector.collect(
-                self.config.dynamicity_start, self.config.dynamicity_end
+                self.config.dynamicity_start,
+                self.config.dynamicity_end,
+                workers=self.config.snapshot_workers,
+                cache=self.config.snapshot_cache,
             )
+            self.collection_metrics = collector.last_metrics
         return self._daily_series
 
     def dynamicity(self) -> DynamicityReport:

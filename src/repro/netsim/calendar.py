@@ -86,6 +86,19 @@ class HolidayCalendar:
         self.christmas_break = christmas_break
         self.extra_closures = list(extra_closures)
 
+    def __repr__(self) -> str:
+        # Deterministic (no object ids): Internet.cache_token() folds
+        # this into on-disk snapshot cache keys.
+        closures = ",".join(
+            f"{start.isoformat()}..{end.isoformat()}@{factor}"
+            for start, end, factor in self.extra_closures
+        )
+        return (
+            f"HolidayCalendar(thanksgiving={self.observes_thanksgiving}, "
+            f"carnaval={self.observes_carnaval}, fall={self.fall_break}, "
+            f"christmas={self.christmas_break}, extra=[{closures}])"
+        )
+
     def occupancy_factor(self, day: dt.date) -> float:
         factor = 1.0
         if self.christmas_break and self._in_christmas_break(day):
@@ -161,6 +174,14 @@ class CovidTimeline:
     def __init__(self, spans: Sequence[Tuple[dt.date, CovidPhase]]):
         ordered = sorted(spans, key=lambda pair: pair[0])
         self._spans = [_PhaseSpan(start, phase) for start, phase in ordered]
+
+    def __repr__(self) -> str:
+        # Deterministic (no object ids): Internet.cache_token() folds
+        # this into on-disk snapshot cache keys.
+        spans = ",".join(
+            f"{span.start.isoformat()}:{span.phase.name}" for span in self._spans
+        )
+        return f"CovidTimeline([{spans}])"
 
     def phase_on(self, day: dt.date) -> CovidPhase:
         current = CovidPhase.NORMAL

@@ -15,6 +15,7 @@ background announced prefixes of sizes /8 through /23 for Figure 1.
 from __future__ import annotations
 
 import datetime as dt
+import hashlib
 import ipaddress
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -81,6 +82,64 @@ class Internet:
             for key, count in network.counts_by_slash24(day, at_offset=at_offset).items():
                 merged[key] = merged.get(key, 0) + count
         return merged
+
+    def clear_day_caches(self) -> None:
+        """Drop every network's memoised per-day records/counts."""
+        for network in self._networks.values():
+            network.clear_day_caches()
+
+    def cache_token(self) -> str:
+        """A deterministic fingerprint of the simulated world.
+
+        Captures everything that determines snapshot content: the seed
+        of each network's RNG streams, topology, per-subnet backing
+        (device identities and naming, count-model parameters, static
+        entry counts) and the occupancy calendars.  Two worlds built
+        with the same ``build_world(seed, scale)`` arguments share a
+        token; changing the seed, scale, or any network spec changes
+        it.  The on-disk snapshot cache folds this token into its keys.
+        """
+        parts: List[str] = []
+        for network in self._networks.values():
+            parts.append(
+                "|".join(
+                    [
+                        network.name,
+                        network.net_type.value,
+                        str(network.prefix),
+                        network.suffix,
+                        f"seed={network.rngs.seed}",
+                        f"lease={network.lease_time}",
+                        f"housing={network.housing_response}",
+                        f"icmp={network.icmp_policy.value}",
+                        f"holidays={network.holidays!r}",
+                        f"covid={network.covid!r}",
+                    ]
+                )
+            )
+            for subnet in network.subnets:
+                if subnet.devices:
+                    backing = "devices=" + ",".join(
+                        f"{device.device_id}/{device.naming.value}/{device.model.key}"
+                        f"/{device.owner_name or '-'}/{device.session_participation}"
+                        for device in subnet.devices
+                    )
+                elif subnet.count_model is not None:
+                    model = subnet.count_model
+                    backing = (
+                        f"count={model.mean}/{model.weekend_factor}/{model.noise}"
+                        f"/{subnet.count_template}/{subnet.count_suffix}"
+                    )
+                else:
+                    backing = "static=" + ",".join(
+                        f"{address}={hostname}" for address, hostname in subnet.static_entries
+                    )
+                parts.append(
+                    f"  {subnet.prefix}|{subnet.role.value}"
+                    f"|policy={type(subnet.policy).__name__}|{backing}"
+                )
+        digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
+        return digest.hexdigest()
 
     def resolver(self) -> StubResolver:
         """A stub resolver delegated to every network's name server."""

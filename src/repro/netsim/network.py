@@ -24,6 +24,7 @@ import datetime as dt
 import enum
 import ipaddress
 import random
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -265,6 +266,12 @@ class Subnet:
 class Network:
     """One organisation's network."""
 
+    #: How many (day, at_offset) record derivations each network memoises.
+    #: Small on purpose: a multi-year sweep visits each day once, while
+    #: the analysis stages (leak sampling, tracking, repeated
+    #: ``records_on`` calls) revisit a handful of recent days many times.
+    DAY_CACHE_SIZE = 32
+
     def __init__(
         self,
         name: str,
@@ -305,6 +312,8 @@ class Network:
         self.covid = covid or CovidTimeline.none()
         self.rngs = rngs or RngStreams(0)
         self._slash24_cache: Dict[ipaddress.IPv4Network, str] = {}
+        self._records_cache: "OrderedDict[Tuple[dt.date, Optional[int]], List[Tuple[ipaddress.IPv4Address, str]]]" = OrderedDict()
+        self._counts_cache: "OrderedDict[Tuple[dt.date, Optional[int]], Dict[str, int]]" = OrderedDict()
         self.zone = ReverseZone(self.prefix, primary_ns=f"ns1.{self.suffix}")
         self.server = AuthoritativeServer(
             f"ns1.{self.suffix}", failure_model=dns_failure_model
@@ -320,6 +329,12 @@ class Network:
             if subnet.prefix.overlaps(existing.prefix):
                 raise ValueError(f"{subnet.prefix} overlaps {existing.prefix}")
         self.subnets.append(subnet)
+        self.clear_day_caches()
+
+    def clear_day_caches(self) -> None:
+        """Drop memoised per-day records/counts (after topology changes)."""
+        self._records_cache.clear()
+        self._counts_cache.clear()
 
     def default_policy(self) -> DnsUpdatePolicy:
         return CarryOverPolicy(self.suffix)
@@ -340,10 +355,34 @@ class Network:
     def records_on(
         self, day: dt.date, *, at_offset: Optional[int] = None
     ) -> Iterator[Tuple[ipaddress.IPv4Address, str]]:
-        for subnet in self.subnets:
-            yield from subnet.records_on(
+        """(address, hostname) pairs present on ``day``, memoised.
+
+        Derivation walks every device's presence draws; analysis stages
+        (leak sampling, snapshot re-reads) revisit the same days many
+        times, so the materialised list is kept in a small LRU keyed by
+        ``(day, at_offset)``.
+        """
+        yield from self._records_list(day, at_offset)
+
+    def _records_list(
+        self, day: dt.date, at_offset: Optional[int]
+    ) -> List[Tuple[ipaddress.IPv4Address, str]]:
+        key = (day, at_offset)
+        cached = self._records_cache.get(key)
+        if cached is not None:
+            self._records_cache.move_to_end(key)
+            return cached
+        records = [
+            pair
+            for subnet in self.subnets
+            for pair in subnet.records_on(
                 day, self.rngs, self.day_factor(day, subnet), at_offset=at_offset
             )
+        ]
+        self._records_cache[key] = records
+        while len(self._records_cache) > self.DAY_CACHE_SIZE:
+            self._records_cache.popitem(last=False)
+        return records
 
     def counts_by_subnet(self, day: dt.date, *, at_offset: Optional[int] = None) -> Dict[SubnetRole, int]:
         counts: Dict[SubnetRole, int] = {}
@@ -362,8 +401,14 @@ class Network:
 
         Subnets no wider than a /24 map to a single key, so their count
         is taken without materialising records — the fast path that
-        makes multi-year daily collection tractable.
+        makes multi-year daily collection tractable.  Results are
+        memoised per ``(day, at_offset)`` alongside the record lists.
         """
+        cache_key = (day, at_offset)
+        cached = self._counts_cache.get(cache_key)
+        if cached is not None:
+            self._counts_cache.move_to_end(cache_key)
+            return dict(cached)
         counts: Dict[str, int] = {}
         for subnet in self.subnets:
             factor = self.day_factor(day, subnet)
@@ -376,7 +421,10 @@ class Network:
                 for address, _ in subnet.records_on(day, self.rngs, factor, at_offset=at_offset):
                     key = slash24_of(address)
                     counts[key] = counts.get(key, 0) + 1
-        return counts
+        self._counts_cache[cache_key] = counts
+        while len(self._counts_cache) > self.DAY_CACHE_SIZE:
+            self._counts_cache.popitem(last=False)
+        return dict(counts)
 
     def _subnet_slash24(self, subnet: Subnet) -> str:
         key = self._slash24_cache.get(subnet.prefix)

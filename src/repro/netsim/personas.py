@@ -17,6 +17,7 @@ truth.
 from __future__ import annotations
 
 import datetime as dt
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.netsim.behavior import (
@@ -48,26 +49,86 @@ def _in_thanksgiving_trip(day: dt.date, year: int) -> bool:
     return start <= day <= start + dt.timedelta(days=3)
 
 
+# Persona scripts are module-level callables (not closures) so that a
+# built world pickles — parallel snapshot collection ships the whole
+# Internet to worker processes.
+
+
+@dataclass(frozen=True)
+class _OfficePhoneScript:
+    year: int
+
+    def __call__(self, day: dt.date) -> Optional[List[Session]]:
+        if _in_thanksgiving_trip(day, self.year):
+            return []
+        if day.weekday() >= 5:
+            return []
+        return _workday_session(day)
+
+
+@dataclass(frozen=True)
+class _OfficeMbpScript:
+    year: int
+
+    def __call__(self, day: dt.date) -> Optional[List[Session]]:
+        if _in_thanksgiving_trip(day, self.year):
+            return []
+        if day.weekday() >= 5:
+            return []
+        return _noon_session(day)
+
+
+def _evening_sessions(day: dt.date, year: int) -> List[Session]:
+    if _in_thanksgiving_trip(day, year):
+        return []
+    start = 17 * HOUR + 30 * MINUTE + (day.toordinal() % 5) * 12 * MINUTE
+    sessions = [Session(start, DAY)]
+    if day.weekday() >= 5:
+        sessions.insert(0, Session(9 * HOUR, 13 * HOUR))
+    return sessions
+
+
+@dataclass(frozen=True)
+class _ResidentAirScript:
+    year: int
+
+    def __call__(self, day: dt.date) -> Optional[List[Session]]:
+        return _evening_sessions(day, self.year)
+
+
+@dataclass(frozen=True)
+class _ResidentIpadScript:
+    year: int
+
+    def __call__(self, day: dt.date) -> Optional[List[Session]]:
+        # The tablet skips some evenings.
+        if day.toordinal() % 3 == 0:
+            return []
+        return _evening_sessions(day, self.year)
+
+
+@dataclass(frozen=True)
+class _ResidentNote9Script:
+    year: int
+
+    def __call__(self, day: dt.date) -> Optional[List[Session]]:
+        first_day = cyber_monday(self.year)
+        if day < first_day:
+            return []
+        if day == first_day:
+            # First powered on in the afternoon of Cyber Monday.
+            return [Session(14 * HOUR + 20 * MINUTE, DAY)]
+        return _evening_sessions(day, self.year)
+
+
 def make_office_brian(year: int = 2021, *, person_id: str = "brian-office") -> List[Device]:
     """Brian #1: staff; phone + MacBook Pro on the education subnet.
 
     Weekday presence, with the MBP settling into the regular
     around-noon pattern, and both devices gone over Thanksgiving.
     """
-
-    def phone_script(day: dt.date) -> Optional[List[Session]]:
-        if _in_thanksgiving_trip(day, year):
-            return []
-        if day.weekday() >= 5:
-            return []
-        return _workday_session(day)
-
-    def mbp_script(day: dt.date) -> Optional[List[Session]]:
-        if _in_thanksgiving_trip(day, year):
-            return []
-        if day.weekday() >= 5:
-            return []
-        return _noon_session(day)
+    phone_script = _OfficePhoneScript(year)
+    mbp_script = _OfficeMbpScript(year)
 
     phone = Device(
         device_id=f"{person_id}-phone",
@@ -95,34 +156,9 @@ def make_office_brian(year: int = 2021, *, person_id: str = "brian-office") -> L
 def make_resident_brian(year: int = 2021, *, person_id: str = "brian-resident") -> List[Device]:
     """Brian #2: campus-housing resident; MacBook Air, iPad, and — from
     Cyber Monday afternoon — a Galaxy Note 9."""
-    note9_first_day = cyber_monday(year)
-
-    def evening_sessions(day: dt.date) -> List[Session]:
-        if _in_thanksgiving_trip(day, year):
-            return []
-        start = 17 * HOUR + 30 * MINUTE + (day.toordinal() % 5) * 12 * MINUTE
-        sessions = [Session(start, DAY)]
-        if day.weekday() >= 5:
-            sessions.insert(0, Session(9 * HOUR, 13 * HOUR))
-        return sessions
-
-    def air_script(day: dt.date) -> Optional[List[Session]]:
-        return evening_sessions(day)
-
-    def ipad_script(day: dt.date) -> Optional[List[Session]]:
-        sessions = evening_sessions(day)
-        # The tablet skips some evenings.
-        if day.toordinal() % 3 == 0:
-            return []
-        return sessions
-
-    def note9_script(day: dt.date) -> Optional[List[Session]]:
-        if day < note9_first_day:
-            return []
-        if day == note9_first_day:
-            # First powered on in the afternoon of Cyber Monday.
-            return [Session(14 * HOUR + 20 * MINUTE, DAY)]
-        return evening_sessions(day)
+    air_script = _ResidentAirScript(year)
+    ipad_script = _ResidentIpadScript(year)
+    note9_script = _ResidentNote9Script(year)
 
     air = Device(
         device_id=f"{person_id}-air",

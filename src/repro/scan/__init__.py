@@ -22,26 +22,36 @@ from repro.scan.observations import (
     write_rdns_csv,
 )
 from repro.scan.ratelimit import TokenBucket
+from repro.scan.cache import SnapshotCache
 from repro.scan.icmp import IcmpScanner
+from repro.scan.parallel import default_workers
 from repro.scan.rdns import RdnsLookupEngine
-from repro.scan.snapshot import SnapshotCollector, SnapshotSeries, SnapshotStats
+from repro.scan.snapshot import (
+    CollectionMetrics,
+    SnapshotCollector,
+    SnapshotSeries,
+    SnapshotStats,
+)
 from repro.scan.reactive import BackoffSchedule, ReactiveMonitor
 from repro.scan.campaign import SupplementalCampaign, SupplementalDataset
 from repro.scan.persistence import load_dataset, save_dataset
 
 __all__ = [
     "BackoffSchedule",
+    "CollectionMetrics",
     "IcmpObservation",
     "IcmpScanner",
     "RdnsLookupEngine",
     "RdnsObservation",
     "ReactiveMonitor",
+    "SnapshotCache",
     "SnapshotCollector",
     "SnapshotSeries",
     "SnapshotStats",
     "SupplementalCampaign",
     "SupplementalDataset",
     "TokenBucket",
+    "default_workers",
     "load_dataset",
     "read_icmp_csv",
     "read_rdns_csv",

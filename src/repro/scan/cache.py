@@ -1,0 +1,152 @@
+"""On-disk cache for collected snapshot series.
+
+Repeated studies and the benchmark harness re-simulate the same
+multi-year windows over and over; the cache makes each simulation a
+one-time cost across processes and sessions.
+
+Layout: one JSON file per entry under the cache root, named by a
+SHA-256 **key** over everything that determines the series content:
+
+* the world fingerprint (:meth:`repro.netsim.internet.Internet.cache_token`
+  — covers the seed, scale and every network/subnet spec),
+* the collector name and network restriction,
+* the half-open ``[start, end)`` window,
+* the cadence and snapshot ``at_offset``,
+* the payload format version.
+
+Changing any of these (a different seed, a widened window, a new
+cadence) therefore *misses* and re-simulates — stale reuse is
+impossible by construction.  Explicit invalidation is still available
+via :meth:`SnapshotCache.invalidate` and :meth:`SnapshotCache.clear`
+(or the CLI's ``--clear-snapshot-cache``).
+
+The default root is ``~/.cache/repro-rdns/snapshots``, overridable
+with the ``REPRO_SNAPSHOT_CACHE`` environment variable or the
+constructor argument.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import List, Optional, Sequence
+
+#: Bump when the payload schema changes; old entries then miss.
+FORMAT_VERSION = 1
+
+CACHE_ENV_VAR = "REPRO_SNAPSHOT_CACHE"
+
+
+def default_cache_root() -> pathlib.Path:
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "repro-rdns" / "snapshots"
+
+
+class SnapshotCache:
+    """A content-keyed store of :meth:`SnapshotSeries.to_payload` blobs."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_root()
+
+    # -- keys ----------------------------------------------------------------
+
+    @staticmethod
+    def key_for(
+        *,
+        world_token: str,
+        name: str,
+        networks: Optional[Sequence[str]],
+        start: dt.date,
+        end: dt.date,
+        cadence_days: int,
+        at_offset: Optional[int],
+    ) -> str:
+        material = json.dumps(
+            {
+                "version": FORMAT_VERSION,
+                "world": world_token,
+                "name": name,
+                "networks": list(networks) if networks is not None else None,
+                "start": start.isoformat(),
+                "end": end.isoformat(),
+                "cadence_days": cadence_days,
+                "at_offset": at_offset,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    # -- access --------------------------------------------------------------
+
+    def load(self, key: str) -> Optional[dict]:
+        """The stored payload, or ``None`` on a miss or corrupt entry."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A torn or unreadable entry is a miss; drop it so the next
+            # store rewrites it cleanly.
+            self.invalidate(key)
+            return None
+
+    def store(self, key: str, payload: dict) -> pathlib.Path:
+        """Atomically persist a payload (write-temp-then-rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.root, suffix=".tmp", delete=False, encoding="utf-8"
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def entries(self) -> List[str]:
+        """Keys currently stored (sorted, for stable output)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.json"))

@@ -42,7 +42,12 @@ SUPPLEMENTAL_NETWORKS = [
 
 @dataclass
 class SupplementalDataset:
-    """Everything the supplemental campaign measured."""
+    """Everything the supplemental campaign measured.
+
+    ``start``/``end`` echo the half-open ``[start, end)`` window the
+    campaign ran over: ``end`` itself was *not* measured (same
+    convention as :meth:`repro.scan.snapshot.SnapshotCollector.collect`).
+    """
 
     start: dt.date
     end: dt.date
@@ -151,22 +156,31 @@ class SupplementalCampaign:
         return targets
 
     def run(self, start: dt.date, end: dt.date) -> SupplementalDataset:
-        """Simulate and measure the period [start, end]."""
-        if end < start:
-            raise ValueError("end before start")
+        """Simulate and measure the half-open period ``[start, end)``.
+
+        The last measured day is ``end - 1 day``; ``end`` itself is
+        excluded, matching
+        :meth:`repro.scan.snapshot.SnapshotCollector.collect` (the two
+        entry points historically disagreed: collection was half-open
+        while the campaign was inclusive, so "the same window" covered
+        different days depending on the instrument).
+        """
+        if end <= start:
+            raise ValueError("end must be after start (half-open [start, end) window)")
+        last_day = end - dt.timedelta(days=1)
         engine = SimulationEngine(start=from_date(start))
         self.engine = engine
         networks = [self.world.supplemental[name] for name in self.network_names]
         self.runtimes = build_runtimes(networks, engine)
         for name, runtime in self.runtimes.items():
-            runtime.start(start, end)
+            runtime.start(start, last_day)
 
         scanner = IcmpScanner(self.runtimes, blocklist=self.blocklist)
         rdns = RdnsLookupEngine(
             self.world.internet.resolver(),
             rate_limit=TokenBucket(self.rdns_rate, self.rdns_rate * 10),
         )
-        end_ts = from_date(end) + DAY - 1
+        end_ts = from_date(last_day) + DAY - 1
         monitor = ReactiveMonitor(
             engine,
             scanner,

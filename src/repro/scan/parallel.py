@@ -1,0 +1,122 @@
+"""Process-pool fan-out for snapshot collection.
+
+A multi-year full-address-space series visits thousands of simulated
+days, and every day is derived independently: all randomness comes from
+``RngStreams.fresh(label, ..., day.toordinal())`` streams, so the order
+in which days are evaluated — or the process that evaluates them —
+cannot change the outcome.  That makes day-chunk parallelism safe:
+:func:`collect_days` splits the day list into contiguous chunks, ships
+the pickled :class:`~repro.netsim.internet.Internet` to each worker
+once (pool initializer), derives chunks concurrently, and merges the
+results in chronological order.  The merged series is bit-identical to
+a serial run (the equivalence regression test in
+``tests/scan/test_parallel_cache.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import math
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scan.snapshot import SnapshotCollector, SnapshotSeries
+
+#: Per-worker state, installed by the pool initializer.  Worker
+#: processes are single-purpose, so a module global is the simplest
+#: way to pay the world-unpickling cost once per worker.
+_WORKER_STATE: Optional[Tuple[object, Optional[List[str]], Optional[int]]] = None
+
+
+def default_workers() -> int:
+    """A sensible worker count: the CPUs available, capped at 8."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def _init_worker(
+    internet_blob: bytes,
+    network_names: Optional[List[str]],
+    at_offset: Optional[int],
+) -> None:
+    global _WORKER_STATE
+    internet = pickle.loads(internet_blob)
+    _WORKER_STATE = (internet, network_names, at_offset)
+
+
+def _collect_chunk(
+    ordinals: List[int],
+) -> List[Tuple[int, Dict[str, int], Set[str]]]:
+    """Derive one contiguous chunk of days inside a worker process."""
+    from repro.scan.snapshot import derive_day
+
+    assert _WORKER_STATE is not None, "worker initializer did not run"
+    internet, network_names, at_offset = _WORKER_STATE
+    results = []
+    for ordinal in ordinals:
+        day = dt.date.fromordinal(ordinal)
+        counts, ptrs = derive_day(internet, network_names, day, at_offset)
+        results.append((ordinal, counts, ptrs))
+    return results
+
+
+def chunk_days(days: Sequence[dt.date], workers: int) -> List[List[dt.date]]:
+    """Split ``days`` into contiguous chunks, ~4 per worker.
+
+    Several chunks per worker keeps the pool busy when chunks take
+    uneven time (weekday/weekend day mixes differ in cost) without
+    paying per-day task overhead.
+    """
+    if not days:
+        return []
+    target = max(1, math.ceil(len(days) / (workers * 4)))
+    return [list(days[index:index + target]) for index in range(0, len(days), target)]
+
+
+def collect_days(
+    collector: "SnapshotCollector",
+    days: Sequence[dt.date],
+    *,
+    workers: int,
+) -> "SnapshotSeries":
+    """Collect ``days`` for ``collector`` on a process pool.
+
+    Raises ``ValueError`` if the world cannot be pickled (worlds built
+    by :func:`repro.netsim.internet.build_world` always can).
+    """
+    from repro.scan.snapshot import SnapshotSeries
+
+    if workers < 2:
+        raise ValueError("collect_days needs at least 2 workers; use collect() for serial")
+    try:
+        blob = pickle.dumps(collector.internet, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ValueError(
+            "parallel collection requires a picklable world; "
+            f"pickling the Internet failed: {exc!r}"
+        ) from exc
+
+    series = SnapshotSeries(
+        collector.name,
+        collector.internet,
+        collector.networks,
+        at_offset=collector.at_offset,
+        cadence_days=collector.cadence_days,
+    )
+    chunks = [
+        [day.toordinal() for day in chunk] for chunk in chunk_days(days, workers)
+    ]
+    network_names = list(collector.networks) if collector.networks is not None else None
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)),
+        initializer=_init_worker,
+        initargs=(blob, network_names, collector.at_offset),
+    ) as pool:
+        # map() preserves chunk order, so ingestion stays chronological
+        # and the merged series is identical to a serial pass.
+        for chunk_result in pool.map(_collect_chunk, chunks):
+            for ordinal, counts, ptrs in chunk_result:
+                series._ingest_day(dt.date.fromordinal(ordinal), counts, ptrs)
+    return series

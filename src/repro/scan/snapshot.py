@@ -6,17 +6,33 @@ weekday every week").  The paper consumes these as given datasets; the
 collector therefore reads zone state in bulk rather than replaying
 billions of PTR queries, while the reactive instrument
 (:mod:`repro.scan.reactive`) exercises the full resolver path.
+
+Collection windows are **half-open** ``[start, end)`` throughout:
+``start`` is always collected (cadence permitting), ``end`` never is.
+
+Multi-year windows are expensive to simulate serially, so
+:meth:`SnapshotCollector.collect` can fan day-chunks out over a process
+pool (``workers=N``, see :mod:`repro.scan.parallel`) and consult an
+on-disk :class:`~repro.scan.cache.SnapshotCache` so repeated studies
+pay for each simulation once.  Per-day derivation draws only from
+``RngStreams.fresh(label, ..., day.toordinal())`` streams, which makes
+results independent of evaluation order: parallel and cached
+collection are bit-identical to serial.
 """
 
 from __future__ import annotations
 
 import datetime as dt
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.netsim.internet import Internet
 from repro.netsim.network import Network
 from repro.netsim.simtime import days_between
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scan.cache import SnapshotCache
 
 
 @dataclass(frozen=True)
@@ -29,6 +45,62 @@ class SnapshotStats:
     snapshots: int
     total_responses: int
     unique_ptrs: int
+
+
+@dataclass
+class CollectionMetrics:
+    """Lightweight counters for one ``collect`` call.
+
+    ``simulate_seconds`` covers day derivation (or payload decoding on
+    a cache hit); ``total_seconds`` the whole call including cache I/O.
+    """
+
+    workers: int = 1
+    days: int = 0
+    responses: int = 0
+    cache_hit: bool = False
+    cache_key: Optional[str] = None
+    cache_stored: bool = False
+    simulate_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def days_per_second(self) -> float:
+        return self.days / self.total_seconds if self.total_seconds > 0 else 0.0
+
+    def describe(self) -> str:
+        source = "cache" if self.cache_hit else f"{self.workers} worker(s)"
+        return (
+            f"{self.days} snapshot day(s) via {source} in "
+            f"{self.total_seconds:.2f}s ({self.days_per_second:.1f} days/s, "
+            f"{self.responses:,} responses)"
+        )
+
+
+def derive_day(
+    internet: Internet,
+    network_names: Optional[Sequence[str]],
+    day: dt.date,
+    at_offset: Optional[int],
+) -> Tuple[Dict[str, int], Set[str]]:
+    """One day's (/24 counts, PTR hostnames) — the unit of collection.
+
+    Shared by the serial path and the worker processes of
+    :mod:`repro.scan.parallel`; determinism of this function is what
+    guarantees parallel results are bit-identical to serial ones.
+    """
+    if network_names is None:
+        networks: List[Network] = internet.networks
+    else:
+        networks = [internet.network(name) for name in network_names]
+    counts: Dict[str, int] = {}
+    ptrs: Set[str] = set()
+    for network in networks:
+        for key, count in network.counts_by_slash24(day, at_offset=at_offset).items():
+            counts[key] = counts.get(key, 0) + count
+        for _, hostname in network.records_on(day, at_offset=at_offset):
+            ptrs.add(hostname)
+    return counts, ptrs
 
 
 class SnapshotSeries:
@@ -47,15 +119,19 @@ class SnapshotSeries:
         networks: Optional[Sequence[str]] = None,
         *,
         at_offset: Optional[int] = None,
+        cadence_days: int = 1,
     ):
+        if cadence_days < 1:
+            raise ValueError("cadence_days must be at least 1")
         self.name = name
         self._internet = internet
         self._network_names = list(networks) if networks is not None else None
         self._at_offset = at_offset
+        self._cadence_days = cadence_days
         self._days: List[dt.date] = []
         self._counts: Dict[dt.date, Dict[str, int]] = {}
         self._total_responses = 0
-        self._unique_ptrs: set = set()
+        self._unique_ptrs: Set[str] = set()
 
     # -- collection (used by SnapshotCollector) ------------------------------
 
@@ -65,14 +141,23 @@ class SnapshotSeries:
         return [self._internet.network(name) for name in self._network_names]
 
     def _collect_day(self, day: dt.date) -> None:
-        counts: Dict[str, int] = {}
-        for network in self._networks():
-            for key, count in network.counts_by_slash24(day, at_offset=self._at_offset).items():
-                counts[key] = counts.get(key, 0) + count
-            for _, hostname in network.records_on(day, at_offset=self._at_offset):
-                self._unique_ptrs.add(hostname)
+        counts, ptrs = derive_day(self._internet, self._network_names, day, self._at_offset)
+        self._ingest_day(day, counts, ptrs)
+
+    def _ingest_day(self, day: dt.date, counts: Dict[str, int], ptrs: Set[str]) -> None:
+        """Append one derived day, enforcing order and cadence."""
+        if self._days:
+            gap = (day - self._days[-1]).days
+            if gap <= 0:
+                raise ValueError(f"{self.name}: day {day} is not after {self._days[-1]}")
+            if gap != self._cadence_days:
+                raise ValueError(
+                    f"{self.name}: snapshot spacing {gap}d contradicts the "
+                    f"declared cadence of {self._cadence_days}d"
+                )
         self._counts[day] = counts
         self._total_responses += sum(counts.values())
+        self._unique_ptrs.update(ptrs)
         self._days.append(day)
 
     # -- access ------------------------------------------------------------------
@@ -83,8 +168,19 @@ class SnapshotSeries:
 
     @property
     def cadence_days(self) -> int:
+        """The collector's declared cadence (1 = daily, 7 = weekly).
+
+        Declared at construction and validated against the actual
+        snapshot spacing as days are ingested — a single-snapshot
+        weekly series still reports 7, where the old first-two-days
+        inference silently returned 1.
+        """
+        return self._cadence_days
+
+    def inferred_cadence_days(self) -> Optional[int]:
+        """Spacing of the first two snapshots (consistency check only)."""
         if len(self._days) < 2:
-            return 1
+            return None
         return (self._days[1] - self._days[0]).days
 
     def counts_by_slash24(self, day: dt.date) -> Dict[str, int]:
@@ -113,6 +209,50 @@ class SnapshotSeries:
     def __len__(self) -> int:
         return len(self._days)
 
+    # -- cache serialisation -------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """A JSON-serialisable snapshot of the collected state."""
+        return {
+            "name": self.name,
+            "networks": self._network_names,
+            "at_offset": self._at_offset,
+            "cadence_days": self._cadence_days,
+            "days": [day.isoformat() for day in self._days],
+            "counts": {
+                day.isoformat(): self._counts[day] for day in self._days
+            },
+            "total_responses": self._total_responses,
+            "unique_ptrs": sorted(self._unique_ptrs),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, internet: Internet) -> "SnapshotSeries":
+        """Rebuild a series from :meth:`to_payload` output.
+
+        ``internet`` must be the world the payload was derived from —
+        ``records_on`` re-derives full record sets from it.  The cache
+        layer guarantees this by keying entries on
+        :meth:`~repro.netsim.internet.Internet.cache_token`.
+        """
+        series = cls(
+            payload["name"],
+            internet,
+            payload["networks"],
+            at_offset=payload["at_offset"],
+            cadence_days=payload["cadence_days"],
+        )
+        series._days = [dt.date.fromisoformat(text) for text in payload["days"]]
+        series._counts = {
+            dt.date.fromisoformat(text): {
+                prefix: int(count) for prefix, count in counts.items()
+            }
+            for text, counts in payload["counts"].items()
+        }
+        series._total_responses = int(payload["total_responses"])
+        series._unique_ptrs = set(payload["unique_ptrs"])
+        return series
+
 
 class SnapshotCollector:
     """Collects a snapshot series at a fixed cadence."""
@@ -138,6 +278,8 @@ class SnapshotCollector:
         self.cadence_days = cadence_days
         self.networks = networks
         self.at_offset = at_offset
+        #: Counters from the most recent :meth:`collect` call.
+        self.last_metrics: Optional[CollectionMetrics] = None
 
     @classmethod
     def openintel_style(cls, internet: Internet, **kwargs) -> "SnapshotCollector":
@@ -149,14 +291,79 @@ class SnapshotCollector:
         """Weekly snapshots (Rapid7 collects one weekday every week)."""
         return cls(internet, "Rapid7 Sonar", cadence_days=7, **kwargs)
 
-    def collect(self, start: dt.date, end: dt.date) -> SnapshotSeries:
-        """Collect all snapshots in [start, end)."""
+    def snapshot_days(self, start: dt.date, end: dt.date) -> List[dt.date]:
+        """The days a collection over ``[start, end)`` snapshots."""
         if end <= start:
             raise ValueError("end must be after start")
-        series = SnapshotSeries(
-            self.name, self.internet, self.networks, at_offset=self.at_offset
-        )
-        for index, day in enumerate(days_between(start, end)):
-            if index % self.cadence_days == 0:
+        return [
+            day
+            for index, day in enumerate(days_between(start, end))
+            if index % self.cadence_days == 0
+        ]
+
+    def collect(
+        self,
+        start: dt.date,
+        end: dt.date,
+        *,
+        workers: int = 1,
+        cache: Optional["SnapshotCache"] = None,
+    ) -> SnapshotSeries:
+        """Collect all snapshots in the half-open window ``[start, end)``.
+
+        ``workers > 1`` fans day-chunks out over a process pool (the
+        world must be picklable); ``cache`` consults and fills an
+        on-disk :class:`~repro.scan.cache.SnapshotCache`.  Both produce
+        results bit-identical to a serial, uncached run.  Timing and
+        cache counters land in :attr:`last_metrics`.
+        """
+        started = time.perf_counter()
+        days = self.snapshot_days(start, end)
+        metrics = CollectionMetrics(workers=max(1, workers), days=len(days))
+        self.last_metrics = metrics
+
+        key: Optional[str] = None
+        if cache is not None:
+            key = cache.key_for(
+                world_token=self.internet.cache_token(),
+                name=self.name,
+                networks=self.networks,
+                start=start,
+                end=end,
+                cadence_days=self.cadence_days,
+                at_offset=self.at_offset,
+            )
+            metrics.cache_key = key
+            payload = cache.load(key)
+            if payload is not None:
+                simulate_started = time.perf_counter()
+                series = SnapshotSeries.from_payload(payload, self.internet)
+                metrics.cache_hit = True
+                metrics.responses = series.stats().total_responses
+                metrics.simulate_seconds = time.perf_counter() - simulate_started
+                metrics.total_seconds = time.perf_counter() - started
+                return series
+
+        simulate_started = time.perf_counter()
+        if workers > 1 and len(days) > 1:
+            from repro.scan.parallel import collect_days
+
+            series = collect_days(self, days, workers=workers)
+        else:
+            series = SnapshotSeries(
+                self.name,
+                self.internet,
+                self.networks,
+                at_offset=self.at_offset,
+                cadence_days=self.cadence_days,
+            )
+            for day in days:
                 series._collect_day(day)
+        metrics.simulate_seconds = time.perf_counter() - simulate_started
+        metrics.responses = series.stats().total_responses if days else 0
+
+        if cache is not None and key is not None:
+            cache.store(key, series.to_payload())
+            metrics.cache_stored = True
+        metrics.total_seconds = time.perf_counter() - started
         return series

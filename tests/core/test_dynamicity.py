@@ -121,6 +121,71 @@ class TestStepTwoAndThree:
         assert report.prefixes["10.0.0.0/24"].change_days == 0
 
 
+def weekly_series_from(history):
+    """A {date: {prefix: count}} mapping spaced 7 days apart."""
+    return {
+        START + dt.timedelta(days=7 * offset): {"10.0.0.0/24": count}
+        for offset, count in enumerate(history)
+        if count > 0
+    }
+
+
+class TestCadence:
+    def test_coarse_cadence_rejected_without_opt_in(self):
+        # Regression: weekly snapshots used to be judged against the
+        # daily Y=7 threshold as if each transition spanned one day.
+        series = weekly_series_from([100, 50] * 6)
+        with pytest.raises(ValueError, match="cadence"):
+            DynamicityAnalyzer().analyze(series)
+
+    def test_opt_in_rescales_threshold_and_warns(self):
+        series = weekly_series_from([100, 50, 100])  # 2 transitions
+        with pytest.warns(UserWarning, match="rescaled"):
+            report = DynamicityAnalyzer().analyze(series, allow_coarse_cadence=True)
+        assert report.cadence_days == 7
+        assert report.effective_min_change_transitions == 1  # ceil(7/7)
+        assert report.is_dynamic("10.0.0.0/24")
+
+    def test_weekly_snapshot_series_carries_cadence(self):
+        from repro.netsim.internet import WorldScale, build_world
+        from repro.scan import SnapshotCollector
+
+        world = build_world(seed=4, scale=WorldScale.small())
+        series = SnapshotCollector.rapid7_style(world.internet).collect(
+            START, START + dt.timedelta(days=28)
+        )
+        with pytest.warns(UserWarning):
+            report = DynamicityAnalyzer().analyze(series, allow_coarse_cadence=True)
+        assert report.cadence_days == 7
+
+    def test_explicit_cadence_overrides_inference(self):
+        series = series_from({"10.0.0.0/24": [100, 50] * 10})
+        with pytest.warns(UserWarning):
+            report = DynamicityAnalyzer().analyze(
+                series, cadence_days=2, allow_coarse_cadence=True
+            )
+        assert report.cadence_days == 2
+        assert report.effective_min_change_transitions == 4  # ceil(7/2)
+
+    def test_daily_report_defaults(self):
+        series = series_from({"10.0.0.0/24": [100, 50] * 10})
+        report = DynamicityAnalyzer().analyze(series)
+        assert report.cadence_days == 1
+        assert report.effective_min_change_transitions == 7
+
+    def test_observed_days_is_calendar_span(self):
+        # 5 weekly snapshots cover 29 calendar days, not 5.
+        series = weekly_series_from([100, 50, 100, 50, 100])
+        with pytest.warns(UserWarning):
+            report = DynamicityAnalyzer().analyze(series, allow_coarse_cadence=True)
+        assert report.prefixes["10.0.0.0/24"].observed_days == 29
+
+    def test_observed_days_daily(self):
+        series = series_from({"10.0.0.0/24": [100, 50] * 10})
+        report = DynamicityAnalyzer().analyze(series)
+        assert report.prefixes["10.0.0.0/24"].observed_days == 20
+
+
 class TestInputHandling:
     def test_empty_series_rejected(self):
         with pytest.raises(ValueError):

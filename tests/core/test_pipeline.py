@@ -81,10 +81,14 @@ class TestSupplementalStage:
 
 class TestConfig:
     def test_default_dates_match_paper(self):
+        # Windows are half-open [start, end): the exclusive ends place
+        # the last measured days at 2021-03-31 and 2021-12-05, the
+        # paper's periods.
         config = StudyConfig()
         assert config.dynamicity_start == dt.date(2021, 1, 1)
+        assert config.dynamicity_end == dt.date(2021, 4, 1)
         assert config.supplemental_start == dt.date(2021, 10, 25)
-        assert config.supplemental_end == dt.date(2021, 12, 5)
+        assert config.supplemental_end == dt.date(2021, 12, 6)
 
     def test_world_injection(self, study):
         clone = ReproductionStudy(study.config, world=study.world)

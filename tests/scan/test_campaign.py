@@ -65,3 +65,29 @@ class TestCampaignRun:
         world = build_world(seed=7, scale=WorldScale.small())
         with pytest.raises(ValueError):
             SupplementalCampaign(world).run(dt.date(2021, 11, 2), dt.date(2021, 11, 1))
+
+
+class TestHalfOpenWindow:
+    def test_empty_window_rejected(self):
+        # start == end is an empty half-open window, not a one-day run.
+        world = build_world(seed=7, scale=WorldScale.small())
+        with pytest.raises(ValueError, match=r"half-open"):
+            SupplementalCampaign(world).run(dt.date(2021, 11, 1), dt.date(2021, 11, 1))
+
+    def test_end_day_not_measured(self, dataset):
+        # run(Nov 1, Nov 2) measures Nov 1 only: every observation
+        # timestamp falls before midnight Nov 2.
+        from repro.netsim.simtime import from_date
+
+        end_ts = from_date(dt.date(2021, 11, 2))
+        assert dataset.icmp and dataset.rdns
+        assert all(obs.at < end_ts for obs in dataset.icmp)
+        assert all(obs.at < end_ts for obs in dataset.rdns)
+        assert any(obs.at >= from_date(dt.date(2021, 11, 1)) for obs in dataset.icmp)
+
+    def test_two_day_window_measures_both_days(self):
+        world = build_world(seed=7, scale=WorldScale.small())
+        campaign = SupplementalCampaign(world, networks=["Academic-C"])
+        dataset = campaign.run(dt.date(2021, 11, 1), dt.date(2021, 11, 3))
+        days = {row[0] for row in dataset.error_rows()}
+        assert days == {dt.date(2021, 11, 1), dt.date(2021, 11, 2)}

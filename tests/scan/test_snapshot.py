@@ -71,6 +71,69 @@ class TestSeriesContent:
         assert all(address in academic_a.prefix for address, _ in records)
 
 
+class TestHalfOpenWindow:
+    def test_start_collected_end_excluded(self, world):
+        end = START + dt.timedelta(days=7)
+        series = SnapshotCollector.openintel_style(world.internet).collect(START, end)
+        assert series.days[0] == START
+        assert series.days[-1] == end - dt.timedelta(days=1)
+        assert end not in series.days
+
+    def test_weekly_day_just_inside_window_collected(self, world):
+        # [Mar 1, Mar 9): the second weekly snapshot (Mar 8) falls one
+        # day before the exclusive end and must be collected.
+        series = SnapshotCollector.rapid7_style(world.internet).collect(
+            START, START + dt.timedelta(days=8)
+        )
+        assert series.days == [START, START + dt.timedelta(days=7)]
+
+    def test_weekly_day_at_window_end_excluded(self, world):
+        series = SnapshotCollector.rapid7_style(world.internet).collect(
+            START, START + dt.timedelta(days=7)
+        )
+        assert series.days == [START]
+
+
+class TestDeclaredCadence:
+    def test_single_snapshot_weekly_series_reports_seven(self, world):
+        # Regression: cadence used to be inferred from the first two
+        # days, so a one-snapshot weekly series silently reported 1.
+        series = SnapshotCollector.rapid7_style(world.internet).collect(
+            START, START + dt.timedelta(days=7)
+        )
+        assert len(series) == 1
+        assert series.cadence_days == 7
+        assert series.inferred_cadence_days() is None
+
+    def test_inferred_cadence_matches_declared(self, world):
+        series = SnapshotCollector.rapid7_style(world.internet).collect(
+            START, START + dt.timedelta(days=15)
+        )
+        assert series.inferred_cadence_days() == series.cadence_days == 7
+
+    def test_spacing_mismatch_rejected(self, world):
+        from repro.scan.snapshot import SnapshotSeries
+
+        series = SnapshotSeries("x", world.internet, cadence_days=7)
+        series._ingest_day(START, {"10.0.0.0/24": 1}, set())
+        with pytest.raises(ValueError, match="cadence"):
+            series._ingest_day(START + dt.timedelta(days=1), {}, set())
+        with pytest.raises(ValueError, match="not after"):
+            series._ingest_day(START, {}, set())
+
+
+class TestMetrics:
+    def test_collect_records_metrics(self, world):
+        collector = SnapshotCollector.openintel_style(world.internet)
+        series = collector.collect(START, START + dt.timedelta(days=3))
+        metrics = collector.last_metrics
+        assert metrics.days == 3
+        assert metrics.responses == series.stats().total_responses
+        assert metrics.total_seconds >= metrics.simulate_seconds > 0
+        assert not metrics.cache_hit
+        assert "3 snapshot day(s)" in metrics.describe()
+
+
 class TestStats:
     def test_stats_match_table1_schema(self, world):
         series = SnapshotCollector.openintel_style(world.internet).collect(

@@ -16,7 +16,7 @@ def run_cli(*argv):
 class TestParser:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args([])
+            main([])
 
     def test_rejects_bad_date(self):
         with pytest.raises(SystemExit):
@@ -69,7 +69,7 @@ class TestTrackCommand:
         code, output = run_cli(
             "--quick", "--seed", "1", "track", "zebediah",
             "--network", "Academic-C",
-            "--start", "2021-11-01", "--end", "2021-11-01",
+            "--start", "2021-11-01", "--end", "2021-11-02",
         )
         assert code == 1
         assert "no devices" in output
@@ -115,6 +115,34 @@ class TestAuditCommand:
         assert "Academic-C" in output
 
 
+class TestSnapshotCacheFlags:
+    def test_timings_and_cache_round_trip(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, output = run_cli(
+            "--quick", "--seed", "1", "--snapshot-cache", cache_dir, "--timings", "study"
+        )
+        assert code == 0
+        assert "[timings]" in output
+        assert "cache miss, stored" in output
+        code, output = run_cli(
+            "--quick", "--seed", "1", "--snapshot-cache", cache_dir, "--timings", "study"
+        )
+        assert code == 0
+        assert "cache hit" in output
+
+    def test_clear_cache_standalone(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_cli("--quick", "--seed", "1", "--snapshot-cache", cache_dir, "study")
+        code, output = run_cli("--snapshot-cache", cache_dir, "--clear-snapshot-cache")
+        assert code == 0
+        assert "cleared 1 cached snapshot series" in output
+
+    def test_workers_flag_accepted(self):
+        code, output = run_cli("--quick", "--seed", "1", "--workers", "2", "study")
+        assert code == 0
+        assert "dynamic" in output
+
+
 class TestSpecAndSave:
     def test_campaign_from_spec_with_save(self, tmp_path):
         import json
@@ -138,7 +166,7 @@ class TestSpecAndSave:
         save_dir = tmp_path / "dataset"
         code, output = run_cli(
             "--spec", str(spec_path), "campaign",
-            "--start", "2021-11-01", "--end", "2021-11-01",
+            "--start", "2021-11-01", "--end", "2021-11-02",
             "--save-dir", str(save_dir),
         )
         assert code == 0
