@@ -19,7 +19,7 @@ if str(_SRC) not in sys.path:
 
 from repro.core.grouping import GroupBuilder  # noqa: E402
 from repro.core.pipeline import ReproductionStudy, StudyConfig  # noqa: E402
-from repro.scan.cache import SnapshotCache  # noqa: E402
+from repro.scan.cache import CampaignCache, SnapshotCache  # noqa: E402
 from repro.scan.snapshot import SnapshotCollector  # noqa: E402
 
 SEED = 42
@@ -33,8 +33,16 @@ OPENINTEL_START, OPENINTEL_END = dt.date(2020, 2, 17), dt.date(2021, 12, 1)
 
 @pytest.fixture(scope="session")
 def study():
-    """One paper-configuration study shared by every benchmark."""
-    return ReproductionStudy(StudyConfig(seed=SEED))
+    """One paper-configuration study shared by every benchmark.
+
+    The six-week supplemental campaign replays from the on-disk
+    campaign cache (default root) after the first benchmark session;
+    entries are keyed on the world fingerprint, so a changed seed never
+    hits.
+    """
+    config = StudyConfig(seed=SEED)
+    config.campaign_cache = CampaignCache()
+    return ReproductionStudy(config)
 
 
 @pytest.fixture(scope="session")

@@ -28,7 +28,13 @@ from repro.netsim.spec import build_world_from_file
 from repro.netsim.network import NetworkType
 from repro.netsim.personas import BRIAN_HOSTNAME_LABELS
 from repro.reporting import TextTable
-from repro.scan import SnapshotCache, SupplementalCampaign, write_icmp_csv, write_rdns_csv
+from repro.scan import (
+    CampaignCache,
+    SnapshotCache,
+    SupplementalCampaign,
+    write_icmp_csv,
+    write_rdns_csv,
+)
 
 
 def _parse_date(text: str) -> dt.date:
@@ -54,7 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="process-pool workers for snapshot collection (default 1 = serial)",
+        help=(
+            "process-pool workers for snapshot collection and the supplemental "
+            "campaign (default 1 = serial; capped so it can never run slower)"
+        ),
     )
     parser.add_argument(
         "--snapshot-cache",
@@ -73,10 +82,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop every cached snapshot series, then continue",
     )
     parser.add_argument(
+        "--campaign-cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "enable the on-disk campaign cache; optional DIR overrides the "
+            "default root (~/.cache/repro-rdns/campaigns, or $REPRO_CAMPAIGN_CACHE)"
+        ),
+    )
+    parser.add_argument(
+        "--clear-campaign-cache",
+        action="store_true",
+        help="drop every cached campaign dataset, then continue",
+    )
+    parser.add_argument(
         "--timings", action="store_true", help="print collection timing and cache counters"
     )
-    # Not required at the argparse level: --clear-snapshot-cache may be
-    # the whole invocation.  main() rejects a missing command otherwise.
+    # Not required at the argparse level: --clear-snapshot-cache or
+    # --clear-campaign-cache may be the whole invocation.  main()
+    # rejects a missing command otherwise.
     commands = parser.add_subparsers(dest="command", required=False)
 
     # All --start/--end windows are half-open: --end itself is not measured.
@@ -138,10 +164,30 @@ def _snapshot_cache(args) -> Optional[SnapshotCache]:
     return SnapshotCache(args.snapshot_cache or None)
 
 
+def _campaign_cache(args) -> Optional[CampaignCache]:
+    if args.campaign_cache is None:
+        return None
+    return CampaignCache(args.campaign_cache or None)
+
+
+def _print_campaign_timings(campaign: SupplementalCampaign, out) -> None:
+    metrics = campaign.last_metrics
+    if metrics is None:
+        return
+    print(f"[timings] supplemental campaign: {metrics.describe()}", file=out)
+    if metrics.cache_key is not None:
+        outcome = "hit" if metrics.cache_hit else (
+            "miss, stored" if metrics.cache_stored else "miss"
+        )
+        print(f"[timings] campaign cache {outcome} (key {metrics.cache_key[:12]}…)", file=out)
+
+
 def cmd_study(args, out) -> int:
     config = StudyConfig.quick(args.seed) if args.quick else StudyConfig(seed=args.seed)
     config.snapshot_workers = args.workers
     config.snapshot_cache = _snapshot_cache(args)
+    config.campaign_workers = args.workers
+    config.campaign_cache = _campaign_cache(args)
     study = ReproductionStudy(config)
     report = study.dynamicity()
     print(
@@ -174,7 +220,9 @@ def cmd_study(args, out) -> int:
 def cmd_campaign(args, out) -> int:
     world = _world(args)
     campaign = SupplementalCampaign(world, networks=args.networks)
-    dataset = campaign.run(args.start, args.end)
+    dataset = campaign.run(
+        args.start, args.end, workers=args.workers, cache=_campaign_cache(args)
+    )
     icmp_total, icmp_unique = dataset.icmp_stats()
     rdns_total, rdns_unique, rdns_ptrs = dataset.rdns_stats()
     print(
@@ -198,6 +246,8 @@ def cmd_campaign(args, out) -> int:
 
         path = save_dataset(dataset, args.save_dir)
         print(f"saved dataset to {path}", file=out)
+    if args.timings:
+        _print_campaign_timings(campaign, out)
     return 0
 
 
@@ -300,10 +350,16 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         cache = _snapshot_cache(args) or SnapshotCache()
         removed = cache.clear()
         print(f"cleared {removed} cached snapshot series from {cache.root}", file=out)
-        if args.command is None:
-            return 0
+    if args.clear_campaign_cache:
+        cache = _campaign_cache(args) or CampaignCache()
+        removed = cache.clear()
+        print(f"cleared {removed} cached campaign datasets from {cache.root}", file=out)
     if args.command is None:
-        parser.error("a command is required (or --clear-snapshot-cache)")
+        if args.clear_snapshot_cache or args.clear_campaign_cache:
+            return 0
+        parser.error(
+            "a command is required (or --clear-snapshot-cache/--clear-campaign-cache)"
+        )
     try:
         return _COMMANDS[args.command](args, out)
     except ValueError as error:

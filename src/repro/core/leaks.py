@@ -24,6 +24,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
+from repro.core.automaton import AhoCorasick
 from repro.core.names import GivenNameMatcher
 from repro.core.terms import extract_terms, hostname_suffix, is_router_level
 from repro.datasets.terms import DEVICE_TERMS
@@ -111,6 +112,12 @@ class LeakIdentifier:
         self.matcher = matcher or GivenNameMatcher()
         self.thresholds = thresholds
         self.device_terms = list(device_terms)
+        self._term_set = frozenset(self.device_terms)
+        # Substring-eligible terms (>= 3 chars) compile into one
+        # automaton: a single pass per hostname instead of a loop over
+        # the whole device-term lexicon.
+        substring_terms = [term for term in self.device_terms if len(term) >= 3]
+        self._term_automaton = AhoCorasick(substring_terms) if substring_terms else None
 
     def identify(
         self,
@@ -170,12 +177,9 @@ class LeakIdentifier:
         )
 
     def _device_terms_in(self, hostname: str) -> Set[str]:
-        terms = set(extract_terms(hostname))
-        found = {term for term in self.device_terms if term in terms}
+        found = set(extract_terms(hostname)) & self._term_set
         # 'galaxy-note9' tokenises to {'galaxy', 'note'}; multi-token
         # device terms are matched as substrings of the whole hostname.
-        haystack = hostname.lower()
-        for term in self.device_terms:
-            if len(term) >= 3 and term in haystack:
-                found.add(term)
+        if self._term_automaton is not None:
+            found |= self._term_automaton.find_unique(hostname.lower())
         return found

@@ -23,8 +23,8 @@ from repro.core.prefixes import AnnouncedPrefixMap
 from repro.core.timing import LingeringAnalysis, lingering_analysis
 from repro.netsim.internet import World, WorldScale, build_world
 from repro.netsim.network import NetworkType
-from repro.scan.cache import SnapshotCache
-from repro.scan.campaign import SupplementalCampaign, SupplementalDataset
+from repro.scan.cache import CampaignCache, SnapshotCache
+from repro.scan.campaign import CampaignMetrics, SupplementalCampaign, SupplementalDataset
 from repro.scan.snapshot import CollectionMetrics, SnapshotCollector, SnapshotSeries
 
 
@@ -43,8 +43,12 @@ class StudyConfig:
 
     ``snapshot_workers`` fans daily collection over a process pool;
     ``snapshot_cache`` (a :class:`~repro.scan.cache.SnapshotCache`)
-    reuses previously collected series across runs.  Both are
-    bit-identical to the serial, uncached default.
+    reuses previously collected series across runs.  Likewise
+    ``campaign_workers`` fans the supplemental campaign out one network
+    per process, and ``campaign_cache`` (a
+    :class:`~repro.scan.cache.CampaignCache`) replays a previously
+    measured campaign dataset.  All four are bit-identical to the
+    serial, uncached default.
     """
 
     seed: int = 0
@@ -60,6 +64,8 @@ class StudyConfig:
     supplemental_end: dt.date = dt.date(2021, 12, 6)
     snapshot_workers: int = 1
     snapshot_cache: Optional[SnapshotCache] = None
+    campaign_workers: int = 1
+    campaign_cache: Optional[CampaignCache] = None
 
     @classmethod
     def quick(cls, seed: int = 0) -> "StudyConfig":
@@ -90,6 +96,8 @@ class ReproductionStudy:
         self._group_builder = GroupBuilder()
         #: Counters from the daily-series collection (None until run).
         self.collection_metrics: Optional[CollectionMetrics] = None
+        #: Counters from the supplemental campaign (None until run).
+        self.campaign_metrics: Optional[CampaignMetrics] = None
 
     # -- stages --------------------------------------------------------------
 
@@ -159,8 +167,12 @@ class ReproductionStudy:
         if self._supplemental is None:
             campaign = SupplementalCampaign(self.world)
             self._supplemental = campaign.run(
-                self.config.supplemental_start, self.config.supplemental_end
+                self.config.supplemental_start,
+                self.config.supplemental_end,
+                workers=self.config.campaign_workers,
+                cache=self.config.campaign_cache,
             )
+            self.campaign_metrics = campaign.last_metrics
         return self._supplemental
 
     def groups(self) -> List[ActivityGroup]:

@@ -1,16 +1,22 @@
 """A minimal discrete-event simulation engine.
 
-Events are (time, sequence, callback) triples in a binary heap; ties
-break in scheduling order, which keeps runs deterministic.  Components
-(DHCP clients, scanners, sweeps) schedule callbacks; the engine drives
-the :class:`~repro.netsim.simtime.SimClock`.
+Events are ``[time, sequence, callback]`` triples in a binary heap;
+ties break in scheduling order, which keeps runs deterministic.
+Components (DHCP clients, scanners, sweeps) schedule callbacks; the
+engine drives the :class:`~repro.netsim.simtime.SimClock`.
+
+Heap entries are plain lists rather than dataclass instances: a
+six-week supplemental campaign pushes and pops millions of events, and
+rich-comparison dispatch on an ``order=True`` dataclass dominated
+``heappush``/``heappop`` in profiles.  Lists compare element-wise in C
+(the unique sequence number guarantees the callback slot is never
+reached), and the mutable third slot doubles as the cancellation flag.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.netsim.simtime import SimClock
@@ -18,31 +24,35 @@ from repro.netsim.simtime import SimClock
 Callback = Callable[[], None]
 
 _CANCELLED = object()
+_EXECUTED = object()
 
-
-@dataclass(order=True)
-class _Event:
-    at: int
-    seq: int
-    callback: object = field(compare=False)
+#: Heap-entry slots (an entry is ``[at, seq, callback]``).
+_AT, _SEQ, _CALLBACK = 0, 1, 2
 
 
 class EventHandle:
     """Returned by :meth:`SimulationEngine.schedule`; allows cancellation."""
 
-    def __init__(self, event: _Event):
-        self._event = event
+    __slots__ = ("_entry", "_engine")
+
+    def __init__(self, entry: list, engine: "SimulationEngine"):
+        self._entry = entry
+        self._engine = engine
 
     def cancel(self) -> None:
-        self._event.callback = _CANCELLED
+        """Drop the event; a no-op if it already ran or was cancelled."""
+        if self._entry[_CALLBACK] is _CANCELLED or self._entry[_CALLBACK] is _EXECUTED:
+            return
+        self._entry[_CALLBACK] = _CANCELLED
+        self._engine._live -= 1
 
     @property
     def cancelled(self) -> bool:
-        return self._event.callback is _CANCELLED
+        return self._entry[_CALLBACK] is _CANCELLED
 
     @property
     def at(self) -> int:
-        return self._event.at
+        return self._entry[_AT]
 
 
 class SimulationEngine:
@@ -50,8 +60,9 @@ class SimulationEngine:
 
     def __init__(self, start: int = 0):
         self.clock = SimClock(start)
-        self._queue: List[_Event] = []
+        self._queue: List[list] = []
         self._seq = itertools.count()
+        self._live = 0
         self.events_run = 0
 
     @property
@@ -62,9 +73,10 @@ class SimulationEngine:
         """Schedule ``callback`` at absolute time ``at``."""
         if at < self.now:
             raise ValueError(f"cannot schedule in the past ({at} < {self.now})")
-        event = _Event(at, next(self._seq), callback)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        entry = [at, next(self._seq), callback]
+        heapq.heappush(self._queue, entry)
+        self._live += 1
+        return EventHandle(entry, self)
 
     def schedule_in(self, delay: int, callback: Callback) -> EventHandle:
         """Schedule ``callback`` after a relative delay."""
@@ -87,6 +99,20 @@ class SimulationEngine:
         if until is None or first <= until:
             self.schedule(first, tick)
 
+    def _pop_due(self, end: Optional[int]) -> Optional[Callback]:
+        """The next runnable callback with ``at <= end``, clock advanced."""
+        queue = self._queue
+        while queue and (end is None or queue[0][_AT] <= end):
+            entry = heapq.heappop(queue)
+            callback = entry[_CALLBACK]
+            if callback is _CANCELLED:
+                continue
+            entry[_CALLBACK] = _EXECUTED
+            self._live -= 1
+            self.clock.advance_to(entry[_AT])
+            return callback
+        return None
+
     def run_until(self, end: int) -> int:
         """Run all events with ``at <= end``; returns events executed.
 
@@ -94,12 +120,11 @@ class SimulationEngine:
         earlier.
         """
         executed = 0
-        while self._queue and self._queue[0].at <= end:
-            event = heapq.heappop(self._queue)
-            if event.callback is _CANCELLED:
-                continue
-            self.clock.advance_to(event.at)
-            event.callback()  # type: ignore[operator]
+        while True:
+            callback = self._pop_due(end)
+            if callback is None:
+                break
+            callback()
             executed += 1
             self.events_run += 1
         self.clock.advance_to(max(self.now, end))
@@ -108,16 +133,21 @@ class SimulationEngine:
     def run(self) -> int:
         """Run until the queue is exhausted; returns events executed."""
         executed = 0
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.callback is _CANCELLED:
-                continue
-            self.clock.advance_to(event.at)
-            event.callback()  # type: ignore[operator]
+        while True:
+            callback = self._pop_due(None)
+            if callback is None:
+                break
+            callback()
             executed += 1
             self.events_run += 1
         return executed
 
     @property
     def pending(self) -> int:
-        return sum(1 for event in self._queue if event.callback is not _CANCELLED)
+        """Live (scheduled, uncancelled, unexecuted) events — O(1).
+
+        Maintained as a counter on schedule/cancel/pop; the old
+        implementation scanned the whole heap per call, which analysis
+        loops polling it turned into accidental O(n²).
+        """
+        return self._live

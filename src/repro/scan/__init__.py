@@ -22,7 +22,7 @@ from repro.scan.observations import (
     write_rdns_csv,
 )
 from repro.scan.ratelimit import TokenBucket
-from repro.scan.cache import SnapshotCache
+from repro.scan.cache import CampaignCache, SnapshotCache
 from repro.scan.icmp import IcmpScanner
 from repro.scan.parallel import default_workers
 from repro.scan.rdns import RdnsLookupEngine
@@ -33,14 +33,24 @@ from repro.scan.snapshot import (
     SnapshotStats,
 )
 from repro.scan.reactive import BackoffSchedule, ReactiveMonitor
-from repro.scan.campaign import SupplementalCampaign, SupplementalDataset
+from repro.scan.campaign import (
+    CampaignMetrics,
+    SupplementalCampaign,
+    SupplementalDataset,
+    run_network_campaign,
+)
+from repro.scan.storage import IcmpColumns, RdnsColumns
 from repro.scan.persistence import load_dataset, save_dataset
 
 __all__ = [
     "BackoffSchedule",
+    "CampaignCache",
+    "CampaignMetrics",
     "CollectionMetrics",
+    "IcmpColumns",
     "IcmpObservation",
     "IcmpScanner",
+    "RdnsColumns",
     "RdnsLookupEngine",
     "RdnsObservation",
     "ReactiveMonitor",
@@ -52,6 +62,7 @@ __all__ = [
     "SupplementalDataset",
     "TokenBucket",
     "default_workers",
+    "run_network_campaign",
     "load_dataset",
     "read_icmp_csv",
     "read_rdns_csv",

@@ -1,11 +1,12 @@
-"""On-disk cache for collected snapshot series.
+"""On-disk caches for collected snapshot series and campaign datasets.
 
 Repeated studies and the benchmark harness re-simulate the same
-multi-year windows over and over; the cache makes each simulation a
-one-time cost across processes and sessions.
+windows over and over; the caches make each simulation a one-time cost
+across processes and sessions.
 
 Layout: one JSON file per entry under the cache root, named by a
-SHA-256 **key** over everything that determines the series content:
+SHA-256 **key** over everything that determines the entry's content.
+For snapshot series (:class:`SnapshotCache`):
 
 * the world fingerprint (:meth:`repro.netsim.internet.Internet.cache_token`
   — covers the seed, scale and every network/subnet spec),
@@ -14,15 +15,21 @@ SHA-256 **key** over everything that determines the series content:
 * the cadence and snapshot ``at_offset``,
 * the payload format version.
 
-Changing any of these (a different seed, a widened window, a new
-cadence) therefore *misses* and re-simulates — stale reuse is
-impossible by construction.  Explicit invalidation is still available
-via :meth:`SnapshotCache.invalidate` and :meth:`SnapshotCache.clear`
-(or the CLI's ``--clear-snapshot-cache``).
+For supplemental campaign datasets (:class:`CampaignCache`): the world
+fingerprint, the network list, the window, the reactive backoff
+schedule (steps and tail), the sweep interval, the rDNS rate limit and
+the blocklist.
 
-The default root is ``~/.cache/repro-rdns/snapshots``, overridable
-with the ``REPRO_SNAPSHOT_CACHE`` environment variable or the
-constructor argument.
+Changing any of these (a different seed, a widened window, a new
+schedule) therefore *misses* and re-simulates — stale reuse is
+impossible by construction.  Explicit invalidation is still available
+via :meth:`invalidate` and :meth:`clear` (or the CLI's
+``--clear-snapshot-cache`` / ``--clear-campaign-cache``).
+
+Default roots live under ``~/.cache/repro-rdns/`` (``snapshots`` and
+``campaigns``), overridable with the ``REPRO_SNAPSHOT_CACHE`` /
+``REPRO_CAMPAIGN_CACHE`` environment variables or the constructor
+argument.
 """
 
 from __future__ import annotations
@@ -33,12 +40,13 @@ import json
 import os
 import pathlib
 import tempfile
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 #: Bump when the payload schema changes; old entries then miss.
 FORMAT_VERSION = 1
 
 CACHE_ENV_VAR = "REPRO_SNAPSHOT_CACHE"
+CAMPAIGN_CACHE_ENV_VAR = "REPRO_CAMPAIGN_CACHE"
 
 
 def default_cache_root() -> pathlib.Path:
@@ -48,39 +56,18 @@ def default_cache_root() -> pathlib.Path:
     return pathlib.Path.home() / ".cache" / "repro-rdns" / "snapshots"
 
 
-class SnapshotCache:
-    """A content-keyed store of :meth:`SnapshotSeries.to_payload` blobs."""
+def default_campaign_cache_root() -> pathlib.Path:
+    override = os.environ.get(CAMPAIGN_CACHE_ENV_VAR)
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "repro-rdns" / "campaigns"
 
-    def __init__(self, root: Optional[os.PathLike] = None):
-        self.root = pathlib.Path(root) if root is not None else default_cache_root()
 
-    # -- keys ----------------------------------------------------------------
+class _JsonFileCache:
+    """Shared mechanics: one ``<key>.json`` per entry, atomic writes."""
 
-    @staticmethod
-    def key_for(
-        *,
-        world_token: str,
-        name: str,
-        networks: Optional[Sequence[str]],
-        start: dt.date,
-        end: dt.date,
-        cadence_days: int,
-        at_offset: Optional[int],
-    ) -> str:
-        material = json.dumps(
-            {
-                "version": FORMAT_VERSION,
-                "world": world_token,
-                "name": name,
-                "networks": list(networks) if networks is not None else None,
-                "start": start.isoformat(),
-                "end": end.isoformat(),
-                "cadence_days": cadence_days,
-                "at_offset": at_offset,
-            },
-            sort_keys=True,
-        )
-        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+    def __init__(self, root: pathlib.Path):
+        self.root = root
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
@@ -150,3 +137,75 @@ class SnapshotCache:
         if not self.root.is_dir():
             return []
         return sorted(path.stem for path in self.root.glob("*.json"))
+
+
+class SnapshotCache(_JsonFileCache):
+    """A content-keyed store of :meth:`SnapshotSeries.to_payload` blobs."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        super().__init__(pathlib.Path(root) if root is not None else default_cache_root())
+
+    @staticmethod
+    def key_for(
+        *,
+        world_token: str,
+        name: str,
+        networks: Optional[Sequence[str]],
+        start: dt.date,
+        end: dt.date,
+        cadence_days: int,
+        at_offset: Optional[int],
+    ) -> str:
+        material = json.dumps(
+            {
+                "version": FORMAT_VERSION,
+                "world": world_token,
+                "name": name,
+                "networks": list(networks) if networks is not None else None,
+                "start": start.isoformat(),
+                "end": end.isoformat(),
+                "cadence_days": cadence_days,
+                "at_offset": at_offset,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class CampaignCache(_JsonFileCache):
+    """A content-keyed store of :meth:`SupplementalDataset.to_payload` blobs."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        super().__init__(
+            pathlib.Path(root) if root is not None else default_campaign_cache_root()
+        )
+
+    @staticmethod
+    def key_for(
+        *,
+        world_token: str,
+        networks: Sequence[str],
+        start: dt.date,
+        end: dt.date,
+        schedule_steps: Sequence[Tuple[int, int]],
+        schedule_tail: int,
+        sweep_interval: int,
+        rdns_rate: float,
+        blocklist: Sequence[str],
+    ) -> str:
+        material = json.dumps(
+            {
+                "version": FORMAT_VERSION,
+                "world": world_token,
+                "networks": list(networks),
+                "start": start.isoformat(),
+                "end": end.isoformat(),
+                "schedule_steps": [list(step) for step in schedule_steps],
+                "schedule_tail": schedule_tail,
+                "sweep_interval": sweep_interval,
+                "rdns_rate": rdns_rate,
+                "blocklist": sorted(blocklist),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()

@@ -5,18 +5,36 @@ sweeper, the rDNS engine and the reactive monitor against the nine
 selected networks, and packages the result as a
 :class:`SupplementalDataset` — the input to the grouping and timing
 analyses (Tables 3-5, Figures 6-8 and 11).
+
+The campaign is embarrassingly parallel across networks: each of the
+nine has its own :class:`~repro.netsim.finegrained.NetworkRuntime`,
+sweeper state, authoritative server and observation streams, with no
+cross-network coupling.  :func:`run_network_campaign` therefore runs
+*one* network on its own :class:`~repro.netsim.engine.SimulationEngine`;
+the serial path loops it over the networks, the parallel path
+(:mod:`repro.scan.campaign_parallel`) fans the same function out over
+a process pool, and both merge the per-network streams with the same
+deterministic timestamp merge — so parallel output is bit-identical to
+serial.  A completed dataset can also be persisted in a
+:class:`~repro.scan.cache.CampaignCache`, making warm runs skip the
+six-week simulation entirely.
+
+Rate limiting is per authoritative server: every network's rDNS engine
+gets its own token bucket, matching the paper's "rate-limit requests
+to authoritative name servers" (each Table 4 network runs its own).
 """
 
 from __future__ import annotations
 
 import datetime as dt
+import time
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dns.resolver import ResolutionStatus
 from repro.netsim.engine import SimulationEngine
-from repro.netsim.finegrained import NetworkRuntime, build_runtimes
+from repro.netsim.finegrained import build_runtimes
 from repro.netsim.internet import World
 from repro.netsim.network import NetworkType
 from repro.netsim.simtime import DAY, HOUR, date_of, from_date
@@ -25,6 +43,13 @@ from repro.scan.observations import IcmpObservation, RdnsObservation
 from repro.scan.ratelimit import TokenBucket
 from repro.scan.rdns import RdnsLookupEngine
 from repro.scan.reactive import TABLE2_SCHEDULE, BackoffSchedule, ReactiveMonitor
+from repro.scan.storage import IcmpColumns, RdnsColumns
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scan.cache import CampaignCache
+
+#: Bump when the dataset payload schema changes; old cache entries miss.
+DATASET_FORMAT_VERSION = 1
 
 #: The paper's nine selected networks, in Table 4 order.
 SUPPLEMENTAL_NETWORKS = [
@@ -41,18 +66,62 @@ SUPPLEMENTAL_NETWORKS = [
 
 
 @dataclass
+class CampaignMetrics:
+    """Lightweight counters for one :meth:`SupplementalCampaign.run` call.
+
+    ``workers`` echoes the request; ``effective_workers`` is what
+    actually ran after the never-slower fallback (serial when the host
+    has no spare cores or too few networks).  ``simulate_seconds``
+    covers simulation (or payload decoding on a cache hit);
+    ``total_seconds`` the whole call including cache I/O.
+    """
+
+    workers: int = 1
+    effective_workers: int = 1
+    networks: int = 0
+    icmp_observations: int = 0
+    rdns_observations: int = 0
+    sweeps_run: int = 0
+    events_run: int = 0
+    cache_hit: bool = False
+    cache_key: Optional[str] = None
+    cache_stored: bool = False
+    simulate_seconds: float = 0.0
+    total_seconds: float = 0.0
+    per_network_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def observations(self) -> int:
+        return self.icmp_observations + self.rdns_observations
+
+    def describe(self) -> str:
+        source = "cache" if self.cache_hit else f"{self.effective_workers} worker(s)"
+        return (
+            f"{self.networks} network(s) via {source} in "
+            f"{self.total_seconds:.2f}s ({self.icmp_observations:,} ICMP + "
+            f"{self.rdns_observations:,} rDNS observations, "
+            f"{self.events_run:,} events)"
+        )
+
+
+@dataclass
 class SupplementalDataset:
     """Everything the supplemental campaign measured.
 
     ``start``/``end`` echo the half-open ``[start, end)`` window the
     campaign ran over: ``end`` itself was *not* measured (same
     convention as :meth:`repro.scan.snapshot.SnapshotCollector.collect`).
+
+    ``icmp``/``rdns`` are sequence-of-observation views backed by the
+    columnar stores of :mod:`repro.scan.storage` when produced by a
+    campaign run (plain lists are also accepted, e.g. when rebuilding
+    from CSV): iterate or index them exactly like lists.
     """
 
     start: dt.date
     end: dt.date
-    icmp: List[IcmpObservation]
-    rdns: List[RdnsObservation]
+    icmp: Sequence[IcmpObservation]
+    rdns: Sequence[RdnsObservation]
     targets_by_network: Dict[str, List[str]]
     network_types: Dict[str, NetworkType]
     target_sizes: Dict[str, int] = field(default_factory=dict)
@@ -121,6 +190,122 @@ class SupplementalDataset:
             )
         return rows
 
+    # -- cache serialisation -------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """A JSON-serialisable snapshot of the whole dataset."""
+        icmp = self.icmp if isinstance(self.icmp, IcmpColumns) else _as_icmp_columns(self.icmp)
+        rdns = self.rdns if isinstance(self.rdns, RdnsColumns) else _as_rdns_columns(self.rdns)
+        return {
+            "version": DATASET_FORMAT_VERSION,
+            "start": self.start.isoformat(),
+            "end": self.end.isoformat(),
+            "icmp": icmp.to_payload(),
+            "rdns": rdns.to_payload(),
+            "targets_by_network": self.targets_by_network,
+            "network_types": {
+                name: net_type.value for name, net_type in self.network_types.items()
+            },
+            "target_sizes": self.target_sizes,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SupplementalDataset":
+        """Rebuild a dataset from :meth:`to_payload` output."""
+        return cls(
+            start=dt.date.fromisoformat(payload["start"]),
+            end=dt.date.fromisoformat(payload["end"]),
+            icmp=IcmpColumns.from_payload(payload["icmp"]),
+            rdns=RdnsColumns.from_payload(payload["rdns"]),
+            targets_by_network={
+                name: list(prefixes)
+                for name, prefixes in payload["targets_by_network"].items()
+            },
+            network_types={
+                name: NetworkType(value)
+                for name, value in payload["network_types"].items()
+            },
+            target_sizes={name: int(size) for name, size in payload["target_sizes"].items()},
+        )
+
+
+def _as_icmp_columns(observations: Iterable[IcmpObservation]) -> IcmpColumns:
+    columns = IcmpColumns()
+    columns.extend(observations)
+    return columns
+
+
+def _as_rdns_columns(observations: Iterable[RdnsObservation]) -> RdnsColumns:
+    columns = RdnsColumns()
+    columns.extend(observations)
+    return columns
+
+
+@dataclass
+class NetworkCampaignResult:
+    """One network's share of the campaign (picklable worker output)."""
+
+    network: str
+    icmp: IcmpColumns
+    rdns: RdnsColumns
+    sweeps_run: int
+    events_run: int
+    seconds: float
+
+
+def run_network_campaign(
+    world: World,
+    name: str,
+    start: dt.date,
+    end: dt.date,
+    *,
+    schedule: BackoffSchedule = TABLE2_SCHEDULE,
+    sweep_interval: int = HOUR,
+    rdns_rate: float = 50.0,
+    blocklist: Iterable = (),
+) -> NetworkCampaignResult:
+    """Measure one network over the half-open ``[start, end)`` window.
+
+    The unit of campaign parallelism: everything here — engine, runtime,
+    sweeper, resolver, rate-limit bucket — is private to the network, so
+    the result is a deterministic function of (world, name, window,
+    parameters) regardless of which process runs it or in what order.
+    """
+    started = time.perf_counter()
+    last_day = end - dt.timedelta(days=1)
+    engine = SimulationEngine(start=from_date(start))
+    network = world.supplemental[name]
+    runtimes = build_runtimes([network], engine)
+    runtimes[name].start(start, last_day)
+
+    scanner = IcmpScanner(runtimes, blocklist=blocklist)
+    rdns = RdnsLookupEngine(
+        world.internet.resolver(),
+        rate_limit=TokenBucket(rdns_rate, rdns_rate * 10),
+    )
+    end_ts = from_date(last_day) + DAY - 1
+    monitor = ReactiveMonitor(
+        engine,
+        scanner,
+        rdns,
+        schedule=schedule,
+        sweep_interval=sweep_interval,
+    )
+    # Columnar stores are drop-in append targets for the monitor.
+    monitor.icmp_observations = IcmpColumns()
+    monitor.rdns_observations = RdnsColumns()
+    targets = {name: [str(subnet.prefix) for subnet in world.supplemental_targets(name)]}
+    monitor.start(targets, end=end_ts)
+    engine.run_until(end_ts)
+    return NetworkCampaignResult(
+        network=name,
+        icmp=monitor.icmp_observations,
+        rdns=monitor.rdns_observations,
+        sweeps_run=monitor.sweeps_run,
+        events_run=engine.events_run,
+        seconds=time.perf_counter() - started,
+    )
+
 
 class SupplementalCampaign:
     """Runs the supplemental measurement against a built world."""
@@ -144,9 +329,8 @@ class SupplementalCampaign:
         self.sweep_interval = sweep_interval
         self.rdns_rate = rdns_rate
         self.blocklist = list(blocklist)
-        self.engine: Optional[SimulationEngine] = None
-        self.runtimes: Dict[str, NetworkRuntime] = {}
-        self.monitor: Optional[ReactiveMonitor] = None
+        #: Counters from the most recent :meth:`run` call.
+        self.last_metrics: Optional[CampaignMetrics] = None
 
     def _targets(self) -> Dict[str, List[str]]:
         targets: Dict[str, List[str]] = {}
@@ -155,7 +339,28 @@ class SupplementalCampaign:
             targets[name] = [str(subnet.prefix) for subnet in subnets]
         return targets
 
-    def run(self, start: dt.date, end: dt.date) -> SupplementalDataset:
+    def cache_key(self, cache: "CampaignCache", start: dt.date, end: dt.date) -> str:
+        """The cache key one ``run(start, end)`` would use."""
+        return cache.key_for(
+            world_token=self.world.internet.cache_token(),
+            networks=self.network_names,
+            start=start,
+            end=end,
+            schedule_steps=self.schedule.steps,
+            schedule_tail=self.schedule.tail_interval,
+            sweep_interval=self.sweep_interval,
+            rdns_rate=self.rdns_rate,
+            blocklist=[str(entry) for entry in self.blocklist],
+        )
+
+    def run(
+        self,
+        start: dt.date,
+        end: dt.date,
+        *,
+        workers: int = 1,
+        cache: Optional["CampaignCache"] = None,
+    ) -> SupplementalDataset:
         """Simulate and measure the half-open period ``[start, end)``.
 
         The last measured day is ``end - 1 day``; ``end`` itself is
@@ -164,35 +369,91 @@ class SupplementalCampaign:
         entry points historically disagreed: collection was half-open
         while the campaign was inclusive, so "the same window" covered
         different days depending on the instrument).
+
+        ``workers > 1`` fans networks out over a process pool;
+        ``cache`` consults and fills an on-disk
+        :class:`~repro.scan.cache.CampaignCache`.  Both are
+        bit-identical to the serial, uncached run.  Timing and cache
+        counters land in :attr:`last_metrics`.
         """
         if end <= start:
             raise ValueError("end must be after start (half-open [start, end) window)")
-        last_day = end - dt.timedelta(days=1)
-        engine = SimulationEngine(start=from_date(start))
-        self.engine = engine
-        networks = [self.world.supplemental[name] for name in self.network_names]
-        self.runtimes = build_runtimes(networks, engine)
-        for name, runtime in self.runtimes.items():
-            runtime.start(start, last_day)
+        started = time.perf_counter()
+        metrics = CampaignMetrics(
+            workers=max(1, workers), networks=len(self.network_names)
+        )
+        self.last_metrics = metrics
 
-        scanner = IcmpScanner(self.runtimes, blocklist=self.blocklist)
-        rdns = RdnsLookupEngine(
-            self.world.internet.resolver(),
-            rate_limit=TokenBucket(self.rdns_rate, self.rdns_rate * 10),
-        )
-        end_ts = from_date(last_day) + DAY - 1
-        monitor = ReactiveMonitor(
-            engine,
-            scanner,
-            rdns,
-            schedule=self.schedule,
-            sweep_interval=self.sweep_interval,
-        )
-        self.monitor = monitor
+        key: Optional[str] = None
+        if cache is not None:
+            key = self.cache_key(cache, start, end)
+            metrics.cache_key = key
+            payload = cache.load(key)
+            if payload is not None and payload.get("version") == DATASET_FORMAT_VERSION:
+                decode_started = time.perf_counter()
+                dataset = SupplementalDataset.from_payload(payload)
+                metrics.cache_hit = True
+                metrics.icmp_observations = len(dataset.icmp)
+                metrics.rdns_observations = len(dataset.rdns)
+                metrics.simulate_seconds = time.perf_counter() - decode_started
+                metrics.total_seconds = time.perf_counter() - started
+                return dataset
+
+        simulate_started = time.perf_counter()
+        results = self._run_networks(start, end, workers, metrics)
+        dataset = self._merge(start, end, results)
+        metrics.simulate_seconds = time.perf_counter() - simulate_started
+        metrics.icmp_observations = len(dataset.icmp)
+        metrics.rdns_observations = len(dataset.rdns)
+        metrics.sweeps_run = sum(result.sweeps_run for result in results)
+        metrics.events_run = sum(result.events_run for result in results)
+        metrics.per_network_seconds = {
+            result.network: result.seconds for result in results
+        }
+
+        if cache is not None and key is not None:
+            cache.store(key, dataset.to_payload())
+            metrics.cache_stored = True
+        metrics.total_seconds = time.perf_counter() - started
+        return dataset
+
+    # -- execution -------------------------------------------------------------
+
+    def _run_networks(
+        self,
+        start: dt.date,
+        end: dt.date,
+        workers: int,
+        metrics: CampaignMetrics,
+    ) -> List[NetworkCampaignResult]:
+        from repro.scan.campaign_parallel import effective_campaign_workers, run_networks
+
+        effective = effective_campaign_workers(workers, len(self.network_names))
+        metrics.effective_workers = effective
+        if effective > 1:
+            return run_networks(self, start, end, workers=effective)
+        return [
+            run_network_campaign(
+                self.world,
+                name,
+                start,
+                end,
+                schedule=self.schedule,
+                sweep_interval=self.sweep_interval,
+                rdns_rate=self.rdns_rate,
+                blocklist=self.blocklist,
+            )
+            for name in self.network_names
+        ]
+
+    def _merge(
+        self,
+        start: dt.date,
+        end: dt.date,
+        results: Sequence[NetworkCampaignResult],
+    ) -> SupplementalDataset:
+        """Combine per-network streams into one dataset, deterministically."""
         targets = self._targets()
-        monitor.start(targets, end=end_ts)
-        engine.run_until(end_ts)
-
         target_sizes = {
             name: sum(
                 subnet.prefix.num_addresses for subnet in self.world.supplemental_targets(name)
@@ -202,8 +463,8 @@ class SupplementalCampaign:
         return SupplementalDataset(
             start=start,
             end=end,
-            icmp=monitor.icmp_observations,
-            rdns=monitor.rdns_observations,
+            icmp=IcmpColumns.merged([result.icmp for result in results]),
+            rdns=RdnsColumns.merged([result.rdns for result in results]),
             targets_by_network=targets,
             network_types={
                 name: self.world.supplemental[name].net_type for name in self.network_names

@@ -1,0 +1,134 @@
+"""Process-pool fan-out for the supplemental campaign.
+
+The campaign is embarrassingly parallel across networks: each of the
+nine supplemental networks owns its runtime, sweeper, authoritative
+server and RNG streams (all keyed by ``RngStreams.fresh`` labels), so
+:func:`~repro.scan.campaign.run_network_campaign` is a deterministic
+function of (world, network, window, parameters) no matter which
+process runs it.  :func:`run_networks` ships one network per task to a
+process pool and returns results in campaign order; the caller merges
+the streams with the same deterministic timestamp merge the serial
+path uses, so parallel output is bit-identical to serial (pinned by
+``tests/scan/test_campaign_parallel_cache.py``).
+
+On platforms with ``fork`` (Linux, macOS pre-3.14 semantics aside),
+workers inherit the built world through copy-on-write memory — no
+pickling at all.  Elsewhere the world is pickled once and shipped via
+the pool initializer, exactly like :mod:`repro.scan.parallel`.
+
+:func:`effective_campaign_workers` implements the never-slower rule:
+the pool is capped at the machine's core count and the number of
+networks, and a single-core host (or single-network campaign) falls
+back to the serial loop rather than paying pool overhead for nothing.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scan.campaign import NetworkCampaignResult, SupplementalCampaign
+
+#: Per-worker state: (world, schedule, sweep_interval, rdns_rate,
+#: blocklist).  Fork workers inherit it from the parent; spawn workers
+#: get it from the pool initializer.
+_WORKER_STATE: Optional[Tuple[object, object, int, float, list]] = None
+
+
+def effective_campaign_workers(requested: int, networks: int) -> int:
+    """Cap the requested pool size so parallelism never loses to serial.
+
+    More workers than networks just idle; more workers than cores just
+    context-switch.  Anything that caps to one means "run serial".
+    """
+    if requested < 2 or networks < 2:
+        return 1
+    capped = min(requested, os.cpu_count() or 1, networks)
+    return capped if capped >= 2 else 1
+
+
+def _init_worker(blob: bytes) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = pickle.loads(blob)
+
+
+def _run_one(task: Tuple[str, str, str]) -> "NetworkCampaignResult":
+    """Run one network's campaign inside a worker process."""
+    from repro.scan.campaign import run_network_campaign
+
+    assert _WORKER_STATE is not None, "worker state missing (initializer did not run)"
+    world, schedule, sweep_interval, rdns_rate, blocklist = _WORKER_STATE
+    name, start_iso, end_iso = task
+    return run_network_campaign(
+        world,
+        name,
+        dt.date.fromisoformat(start_iso),
+        dt.date.fromisoformat(end_iso),
+        schedule=schedule,
+        sweep_interval=sweep_interval,
+        rdns_rate=rdns_rate,
+        blocklist=blocklist,
+    )
+
+
+def run_networks(
+    campaign: "SupplementalCampaign",
+    start: dt.date,
+    end: dt.date,
+    *,
+    workers: int,
+) -> List["NetworkCampaignResult"]:
+    """Run every campaign network on a process pool, in campaign order.
+
+    Raises ``ValueError`` if the platform lacks ``fork`` and the world
+    cannot be pickled (worlds from
+    :func:`repro.netsim.internet.build_world` always can).
+    """
+    global _WORKER_STATE
+    if workers < 2:
+        raise ValueError("run_networks needs at least 2 workers; use run() for serial")
+
+    state = (
+        campaign.world,
+        campaign.schedule,
+        campaign.sweep_interval,
+        campaign.rdns_rate,
+        list(campaign.blocklist),
+    )
+    tasks = [
+        (name, start.isoformat(), end.isoformat()) for name in campaign.network_names
+    ]
+    max_workers = min(workers, len(tasks))
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        # Fork workers inherit the world via copy-on-write: zero
+        # serialisation cost, which is what makes small worlds still
+        # worth parallelising.
+        _WORKER_STATE = state
+        try:
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                return list(pool.map(_run_one, tasks))
+        finally:
+            _WORKER_STATE = None
+
+    try:
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ValueError(
+            "parallel campaign requires a picklable world; "
+            f"pickling failed: {exc!r}"
+        ) from exc
+    with ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_init_worker,
+        initargs=(blob,),
+    ) as pool:
+        return list(pool.map(_run_one, tasks))

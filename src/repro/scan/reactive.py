@@ -112,12 +112,16 @@ class ReactiveMonitor:
             for observation in self.scanner.sweep(prefixes, now, network=network_name):
                 responders[observation.address] = network_name
                 self.icmp_observations.append(observation)
-        appeared = set(responders) - set(self._online)
-        disappeared = set(self._online) - set(responders)
-        for address in sorted(appeared):
+        # Both maps are dicts, so membership is O(1) per probe; building
+        # throwaway sets of every online address each hourly sweep was a
+        # measurable share of campaign time on long runs.
+        online = self._online
+        appeared = sorted(address for address in responders if address not in online)
+        disappeared = sorted(address for address in online if address not in responders)
+        for address in appeared:
             self._on_client_appeared(address, responders[address])
-        for address in sorted(disappeared):
-            self._on_client_disappeared(address, self._online[address])
+        for address in disappeared:
+            self._on_client_disappeared(address, online[address])
         next_at = now + self.sweep_interval
         if next_at <= self._end:
             self.engine.schedule(next_at, self._sweep)

@@ -51,11 +51,15 @@ class SnapshotStats:
 class CollectionMetrics:
     """Lightweight counters for one ``collect`` call.
 
+    ``workers`` echoes the request; ``effective_workers`` is what
+    actually ran after the never-slower fallback (see
+    :func:`repro.scan.parallel.effective_workers`).
     ``simulate_seconds`` covers day derivation (or payload decoding on
     a cache hit); ``total_seconds`` the whole call including cache I/O.
     """
 
     workers: int = 1
+    effective_workers: int = 1
     days: int = 0
     responses: int = 0
     cache_hit: bool = False
@@ -69,7 +73,7 @@ class CollectionMetrics:
         return self.days / self.total_seconds if self.total_seconds > 0 else 0.0
 
     def describe(self) -> str:
-        source = "cache" if self.cache_hit else f"{self.workers} worker(s)"
+        source = "cache" if self.cache_hit else f"{self.effective_workers} worker(s)"
         return (
             f"{self.days} snapshot day(s) via {source} in "
             f"{self.total_seconds:.2f}s ({self.days_per_second:.1f} days/s, "
@@ -311,15 +315,22 @@ class SnapshotCollector:
     ) -> SnapshotSeries:
         """Collect all snapshots in the half-open window ``[start, end)``.
 
-        ``workers > 1`` fans day-chunks out over a process pool (the
-        world must be picklable); ``cache`` consults and fills an
-        on-disk :class:`~repro.scan.cache.SnapshotCache`.  Both produce
-        results bit-identical to a serial, uncached run.  Timing and
+        ``workers > 1`` fans day-chunks out over a process pool;
+        ``cache`` consults and fills an on-disk
+        :class:`~repro.scan.cache.SnapshotCache`.  Both produce results
+        bit-identical to a serial, uncached run.  The pool is capped by
+        :func:`repro.scan.parallel.effective_workers` so a ``workers``
+        request can never run slower than serial (short windows and
+        single-core hosts fall back); the cap actually used is recorded
+        in :attr:`CollectionMetrics.effective_workers`.  Timing and
         cache counters land in :attr:`last_metrics`.
         """
+        from repro.scan.parallel import effective_workers
+
         started = time.perf_counter()
         days = self.snapshot_days(start, end)
         metrics = CollectionMetrics(workers=max(1, workers), days=len(days))
+        metrics.effective_workers = effective_workers(workers, len(days))
         self.last_metrics = metrics
 
         key: Optional[str] = None
@@ -345,10 +356,10 @@ class SnapshotCollector:
                 return series
 
         simulate_started = time.perf_counter()
-        if workers > 1 and len(days) > 1:
+        if metrics.effective_workers > 1:
             from repro.scan.parallel import collect_days
 
-            series = collect_days(self, days, workers=workers)
+            series = collect_days(self, days, workers=metrics.effective_workers)
         else:
             series = SnapshotSeries(
                 self.name,

@@ -1,0 +1,291 @@
+"""Columnar storage for campaign observation streams.
+
+A six-week supplemental campaign emits millions of ICMP and rDNS
+observations; keeping each as a frozen dataclass instance costs ~
+hundreds of bytes of object overhead per row and thrashes the
+allocator.  These column stores keep the same data as parallel
+``array`` columns (4-byte addresses, 8-byte timestamps, small-integer
+dictionary codes for networks/statuses/hostnames) while presenting the
+familiar sequence-of-observations API: ``append``, ``len``, indexing,
+iteration.  Observation objects are materialised lazily on access, so
+every existing consumer (grouping, tracking, occupancy, persistence)
+keeps working unchanged.
+
+The stores are picklable (process-pool transport) and JSON-serialisable
+(:meth:`to_payload`/:meth:`from_payload`, the campaign-cache format).
+Equality compares *contents*, and also accepts a plain list of
+observations on either side, which is what the bit-identical
+equivalence tests assert against.
+"""
+
+from __future__ import annotations
+
+import heapq
+import ipaddress
+from array import array
+from collections.abc import Sequence
+from typing import Dict, Iterator, List, Tuple
+
+from repro.dns.resolver import ResolutionStatus
+from repro.scan.observations import IcmpObservation, RdnsObservation
+
+#: 32-bit-capable unsigned typecode ('I' is 4 bytes on CPython, but the
+#: C standard only guarantees 2; fall back to 'L' where needed).
+_ADDR = "I" if array("I").itemsize >= 4 else "L"
+
+_STATUSES: Tuple[ResolutionStatus, ...] = tuple(ResolutionStatus)
+_STATUS_INDEX: Dict[ResolutionStatus, int] = {
+    status: index for index, status in enumerate(_STATUSES)
+}
+
+
+class _Interner:
+    """A list + reverse index assigning dense ids to repeated strings."""
+
+    __slots__ = ("values", "_index")
+
+    def __init__(self, values: Sequence[str] = ()):
+        self.values: List[str] = list(values)
+        self._index: Dict[str, int] = {value: i for i, value in enumerate(self.values)}
+
+    def code(self, value: str) -> int:
+        index = self._index.get(value)
+        if index is None:
+            index = len(self.values)
+            self.values.append(value)
+            self._index[value] = index
+        return index
+
+
+def _merge_entries(stream, order: int):
+    """Yield (at, order, index, stream) rows; binds ``stream`` eagerly."""
+    ats = stream._ats
+    for index in range(len(ats)):
+        yield (ats[index], order, index, stream)
+
+
+class IcmpColumns(Sequence):
+    """ICMP observations as (address, at, network) columns."""
+
+    __slots__ = ("_addresses", "_ats", "_network_ids", "_networks")
+
+    def __init__(self):
+        self._addresses = array(_ADDR)
+        self._ats = array("q")
+        self._network_ids = array("H")
+        self._networks = _Interner()
+
+    # -- building ------------------------------------------------------------
+
+    def append(self, observation: IcmpObservation) -> None:
+        self._addresses.append(int(observation.address))
+        self._ats.append(observation.at)
+        self._network_ids.append(self._networks.code(observation.network))
+
+    def extend(self, observations) -> None:
+        for observation in observations:
+            self.append(observation)
+
+    # -- sequence protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ats)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        return IcmpObservation(
+            address=ipaddress.IPv4Address(self._addresses[index]),
+            at=self._ats[index],
+            network=self._networks.values[self._network_ids[index]],
+        )
+
+    def __iter__(self) -> Iterator[IcmpObservation]:
+        networks = self._networks.values
+        for value, at, network_id in zip(self._addresses, self._ats, self._network_ids):
+            yield IcmpObservation(
+                address=ipaddress.IPv4Address(value), at=at, network=networks[network_id]
+            )
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, IcmpColumns):
+            return (
+                self._addresses == other._addresses
+                and self._ats == other._ats
+                and [self._networks.values[i] for i in self._network_ids]
+                == [other._networks.values[i] for i in other._network_ids]
+            )
+        if isinstance(other, Sequence):
+            return len(self) == len(other) and all(a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"IcmpColumns({len(self)} observations)"
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "addresses": list(self._addresses),
+            "ats": list(self._ats),
+            "network_ids": list(self._network_ids),
+            "networks": list(self._networks.values),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "IcmpColumns":
+        columns = cls()
+        columns._addresses = array(_ADDR, payload["addresses"])
+        columns._ats = array("q", payload["ats"])
+        columns._network_ids = array("H", payload["network_ids"])
+        columns._networks = _Interner(payload["networks"])
+        return columns
+
+    # -- merging ---------------------------------------------------------------
+
+    @classmethod
+    def merged(cls, streams: Sequence["IcmpColumns"]) -> "IcmpColumns":
+        """A k-way merge by timestamp; ties keep the stream order given.
+
+        Each per-network stream is already time-ordered (observations
+        are appended in event-execution order), so the merge is a
+        deterministic function of the inputs — the property that makes
+        parallel campaign output bit-identical to serial.
+        """
+        merged = cls()
+        entries = heapq.merge(
+            *(_merge_entries(stream, order) for order, stream in enumerate(streams))
+        )
+        for _, _, index, stream in entries:
+            merged._addresses.append(stream._addresses[index])
+            merged._ats.append(stream._ats[index])
+            merged._network_ids.append(
+                merged._networks.code(stream._networks.values[stream._network_ids[index]])
+            )
+        return merged
+
+
+class RdnsColumns(Sequence):
+    """rDNS observations as (address, at, status, hostname, network) columns."""
+
+    __slots__ = ("_addresses", "_ats", "_status_ids", "_hostname_ids", "_network_ids", "_hostnames", "_networks")
+
+    def __init__(self):
+        self._addresses = array(_ADDR)
+        self._ats = array("q")
+        self._status_ids = array("B")
+        self._hostname_ids = array("L")
+        self._network_ids = array("H")
+        self._hostnames = _Interner([""])  # id 0 = no hostname
+        self._networks = _Interner()
+
+    # -- building ------------------------------------------------------------
+
+    def append(self, observation: RdnsObservation) -> None:
+        self._addresses.append(int(observation.address))
+        self._ats.append(observation.at)
+        self._status_ids.append(_STATUS_INDEX[observation.status])
+        self._hostname_ids.append(self._hostnames.code(observation.hostname))
+        self._network_ids.append(self._networks.code(observation.network))
+
+    def extend(self, observations) -> None:
+        for observation in observations:
+            self.append(observation)
+
+    # -- sequence protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ats)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        return RdnsObservation(
+            address=ipaddress.IPv4Address(self._addresses[index]),
+            at=self._ats[index],
+            status=_STATUSES[self._status_ids[index]],
+            hostname=self._hostnames.values[self._hostname_ids[index]],
+            network=self._networks.values[self._network_ids[index]],
+        )
+
+    def __iter__(self) -> Iterator[RdnsObservation]:
+        hostnames = self._hostnames.values
+        networks = self._networks.values
+        for i in range(len(self._ats)):
+            yield RdnsObservation(
+                address=ipaddress.IPv4Address(self._addresses[i]),
+                at=self._ats[i],
+                status=_STATUSES[self._status_ids[i]],
+                hostname=hostnames[self._hostname_ids[i]],
+                network=networks[self._network_ids[i]],
+            )
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RdnsColumns):
+            return (
+                self._addresses == other._addresses
+                and self._ats == other._ats
+                and self._status_ids == other._status_ids
+                and [self._hostnames.values[i] for i in self._hostname_ids]
+                == [other._hostnames.values[i] for i in other._hostname_ids]
+                and [self._networks.values[i] for i in self._network_ids]
+                == [other._networks.values[i] for i in other._network_ids]
+            )
+        if isinstance(other, Sequence):
+            return len(self) == len(other) and all(a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"RdnsColumns({len(self)} observations)"
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "addresses": list(self._addresses),
+            "ats": list(self._ats),
+            "status_ids": list(self._status_ids),
+            "statuses": [status.value for status in _STATUSES],
+            "hostname_ids": list(self._hostname_ids),
+            "hostnames": list(self._hostnames.values),
+            "network_ids": list(self._network_ids),
+            "networks": list(self._networks.values),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RdnsColumns":
+        columns = cls()
+        columns._addresses = array(_ADDR, payload["addresses"])
+        columns._ats = array("q", payload["ats"])
+        # Re-map status codes through their values so a reordered enum
+        # cannot silently corrupt replayed observations.
+        stored = [ResolutionStatus(value) for value in payload["statuses"]]
+        columns._status_ids = array(
+            "B", (_STATUS_INDEX[stored[code]] for code in payload["status_ids"])
+        )
+        columns._hostname_ids = array("L", payload["hostname_ids"])
+        columns._hostnames = _Interner(payload["hostnames"])
+        columns._network_ids = array("H", payload["network_ids"])
+        columns._networks = _Interner(payload["networks"])
+        return columns
+
+    # -- merging ---------------------------------------------------------------
+
+    @classmethod
+    def merged(cls, streams: Sequence["RdnsColumns"]) -> "RdnsColumns":
+        """A k-way timestamp merge; see :meth:`IcmpColumns.merged`."""
+        merged = cls()
+        entries = heapq.merge(
+            *(_merge_entries(stream, order) for order, stream in enumerate(streams))
+        )
+        for _, _, index, stream in entries:
+            merged._addresses.append(stream._addresses[index])
+            merged._ats.append(stream._ats[index])
+            merged._status_ids.append(stream._status_ids[index])
+            merged._hostname_ids.append(
+                merged._hostnames.code(stream._hostnames.values[stream._hostname_ids[index]])
+            )
+            merged._network_ids.append(
+                merged._networks.code(stream._networks.values[stream._network_ids[index]])
+            )
+        return merged

@@ -1,0 +1,99 @@
+"""Aho-Corasick matcher: equivalence with the naive substring loop."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.automaton import AhoCorasick, naive_find_unique
+from repro.core.names import GivenNameMatcher
+from repro.datasets.names import TOP_GIVEN_NAMES
+
+pattern = st.text(alphabet="abcdef-", min_size=1, max_size=8)
+text = st.text(alphabet="abcdef-.0123456789", max_size=40)
+
+
+class TestAutomatonBasics:
+    def test_single_pattern(self):
+        automaton = AhoCorasick(["brian"])
+        assert automaton.find_unique("brians-iphone.campus.edu") == {"brian"}
+        assert automaton.find_unique("no-match-here") == set()
+
+    def test_overlapping_and_nested_patterns(self):
+        # The paper's confound: 'jacksonville' contains both names.
+        automaton = AhoCorasick(["jackson", "jack", "ville"])
+        assert automaton.find_unique("jacksonville") == {"jackson", "jack", "ville"}
+
+    def test_duplicate_patterns_deduplicated(self):
+        automaton = AhoCorasick(["ann", "ann"])
+        assert automaton.patterns == ("ann",)
+        assert automaton.find_unique("joanne") == {"ann"}
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            AhoCorasick(["ok", ""])
+        with pytest.raises(ValueError):
+            AhoCorasick([])
+
+    def test_contains_any_early_exit(self):
+        automaton = AhoCorasick(["xyz", "abc"])
+        assert automaton.contains_any("zzabczz")
+        assert not automaton.contains_any("zz-bc-zz")
+
+    def test_iter_matches_reports_positions(self):
+        automaton = AhoCorasick(["ana"])
+        # Overlapping occurrences are all reported.
+        assert list(automaton.iter_matches("banana")) == [(3, "ana"), (5, "ana")]
+
+    def test_pattern_sharing_prefixes(self):
+        automaton = AhoCorasick(["brian", "bri", "ian", "an"])
+        assert automaton.find_unique("brian") == {"brian", "bri", "ian", "an"}
+
+
+class TestNaiveEquivalence:
+    @given(patterns=st.lists(pattern, min_size=1, max_size=20), haystack=text)
+    @settings(max_examples=300, deadline=None)
+    def test_matches_naive_on_random_inputs(self, patterns, haystack):
+        automaton = AhoCorasick(patterns)
+        assert automaton.find_unique(haystack) == set(naive_find_unique(patterns, haystack))
+        assert automaton.contains_any(haystack) == bool(naive_find_unique(patterns, haystack))
+
+    def test_matches_naive_on_random_hostnames_full_name_list(self):
+        rng = random.Random(20220901)
+        names = [name.lower() for name in TOP_GIVEN_NAMES if len(name) >= 3]
+        automaton = AhoCorasick(names)
+        pieces = names + ["laptop", "iphone", "router", "dyn", "rev", "x1"]
+        for _ in range(200):
+            hostname = "-".join(rng.sample(pieces, rng.randint(1, 4))) + ".campus.example.edu"
+            assert automaton.find_unique(hostname) == set(naive_find_unique(names, hostname))
+
+
+class TestGivenNameMatcherSemantics:
+    def test_jacksonville_longest_first(self):
+        matcher = GivenNameMatcher(["jack", "jackson", "ville"])
+        assert matcher.match("jacksonville.city.example.net") == {"jack", "jackson", "ville"}
+        assert matcher.first_match("jacksonville.city.example.net") == "jackson"
+
+    def test_full_name_list_unchanged_vs_naive(self):
+        matcher = GivenNameMatcher()
+        hostnames = [
+            "brians-iphone.campus.stateu.edu",
+            "jacksonville-gw.router.example.net",
+            "marias-macbook-pro.office.globex.com",
+            "DESKTOP-A1B2C3.corp.initech.com",
+            "christophers-galaxy-note9.dorm.college.edu",
+            "no-names-at-all.example",
+        ]
+        for hostname in hostnames:
+            naive = set(naive_find_unique(matcher.names, hostname.lower()))
+            assert matcher.match(hostname) == naive
+            assert matcher.matches(hostname) == bool(naive)
+        counted = matcher.count_matches(hostnames)
+        assert counted["brian"] == 1
+        assert counted["jackson"] == 1
+
+    def test_first_match_deterministic_on_length_ties(self):
+        matcher = GivenNameMatcher(["dana", "anna"])
+        # Both four-letter names occur; the alphabetical tiebreak wins.
+        assert matcher.first_match("dananna-box") == "anna"

@@ -7,7 +7,12 @@ import pytest
 
 from repro.netsim.internet import WorldScale, build_world
 from repro.scan import SnapshotCache, SnapshotCollector
-from repro.scan.parallel import chunk_days, collect_days
+from repro.scan.parallel import (
+    MIN_DAYS_PER_WORKER,
+    chunk_days,
+    collect_days,
+    effective_workers,
+)
 
 START = dt.date(2021, 3, 1)
 END = dt.date(2021, 3, 13)
@@ -36,12 +41,15 @@ def assert_series_identical(left, right):
 
 
 class TestParallelEquivalence:
+    # collect_days is driven directly so the pool actually runs even on
+    # single-core hosts, where collect()'s never-slower cap would fall
+    # back to the serial loop.
+
     def test_two_workers_bit_identical_to_serial(self, serial_series):
         # A fresh world: no shared memoisation with the serial fixture.
         world = build_world(seed=4, scale=WorldScale.small())
-        parallel = SnapshotCollector.openintel_style(world.internet).collect(
-            START, END, workers=2
-        )
+        collector = SnapshotCollector.openintel_style(world.internet)
+        parallel = collect_days(collector, collector.snapshot_days(START, END), workers=2)
         assert_series_identical(serial_series, parallel)
 
     def test_four_workers_weekly_cadence(self, world):
@@ -49,8 +57,11 @@ class TestParallelEquivalence:
             START, START + dt.timedelta(days=28)
         )
         other = build_world(seed=4, scale=WorldScale.small())
-        parallel = SnapshotCollector.rapid7_style(other.internet).collect(
-            START, START + dt.timedelta(days=28), workers=4
+        collector = SnapshotCollector.rapid7_style(other.internet)
+        parallel = collect_days(
+            collector,
+            collector.snapshot_days(START, START + dt.timedelta(days=28)),
+            workers=4,
         )
         assert_series_identical(serial, parallel)
 
@@ -58,21 +69,40 @@ class TestParallelEquivalence:
         serial = SnapshotCollector(
             world.internet, "subset", networks=["Academic-A"]
         ).collect(START, START + dt.timedelta(days=4))
-        parallel = SnapshotCollector(
-            world.internet, "subset", networks=["Academic-A"]
-        ).collect(START, START + dt.timedelta(days=4), workers=2)
+        collector = SnapshotCollector(world.internet, "subset", networks=["Academic-A"])
+        parallel = collect_days(
+            collector,
+            collector.snapshot_days(START, START + dt.timedelta(days=4)),
+            workers=2,
+        )
         assert_series_identical(serial, parallel)
 
     def test_single_day_window_falls_back_to_serial(self, world):
         collector = SnapshotCollector.openintel_style(world.internet)
         series = collector.collect(START, START + dt.timedelta(days=1), workers=4)
         assert len(series) == 1
-        assert collector.last_metrics is not None
+        assert collector.last_metrics.workers == 4
+        assert collector.last_metrics.effective_workers == 1
 
     def test_collect_days_rejects_single_worker(self, world):
         collector = SnapshotCollector.openintel_style(world.internet)
         with pytest.raises(ValueError):
             collect_days(collector, [START], workers=1)
+
+
+class TestEffectiveWorkers:
+    def test_short_windows_stay_serial(self):
+        assert effective_workers(4, 2 * MIN_DAYS_PER_WORKER - 1) == 1
+
+    def test_serial_request_stays_serial(self):
+        assert effective_workers(1, 1000) == 1
+
+    def test_capped_by_day_count(self):
+        days = 4 * MIN_DAYS_PER_WORKER
+        assert effective_workers(64, days) <= days // MIN_DAYS_PER_WORKER
+
+    def test_never_exceeds_request(self):
+        assert effective_workers(2, 10_000) <= 2
 
 
 class TestChunking:
