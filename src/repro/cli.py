@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.core import DeviceTracker, HeistPlanner, audit_by_network
 from repro.core.pipeline import ReproductionStudy, StudyConfig
+from repro.netsim.faults import FAULT_PROFILES, resolve_fault_plan
 from repro.netsim.internet import WorldScale, build_world
 from repro.netsim.spec import build_world_from_file
 from repro.netsim.network import NetworkType
@@ -100,6 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--timings", action="store_true", help="print collection timing and cache counters"
     )
+    parser.add_argument(
+        "--fault-profile",
+        choices=FAULT_PROFILES,
+        default=None,
+        help=(
+            "inject deterministic measurement-plane faults (packet loss, DNS "
+            "timeouts/SERVFAILs, outages) into the supplemental campaign; "
+            "default none (the REPRO_FAULT_PROFILE environment variable is "
+            "consulted when the flag is absent, and an explicit 'none' "
+            "overrides it)"
+        ),
+    )
     # Not required at the argparse level: --clear-snapshot-cache or
     # --clear-campaign-cache may be the whole invocation.  main()
     # rejects a missing command otherwise.
@@ -117,6 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--icmp-csv", help="write raw ICMP observations here")
     campaign.add_argument("--rdns-csv", help="write raw rDNS observations here")
     campaign.add_argument("--save-dir", help="persist the whole dataset to this directory")
+    campaign.add_argument(
+        "--error-report",
+        action="store_true",
+        help=(
+            "print the per-day rDNS error-class breakdown (Figure 6); "
+            "printed automatically when a fault profile is active"
+        ),
+    )
 
     track = commands.add_parser("track", help="follow a given name's devices (Section 7.1)")
     track.add_argument("name", help="given name to follow, e.g. brian")
@@ -170,6 +191,22 @@ def _campaign_cache(args) -> Optional[CampaignCache]:
     return CampaignCache(args.campaign_cache or None)
 
 
+def _fault_plan(args):
+    """The fault plan for this invocation (flag, then environment)."""
+    return resolve_fault_plan(args.fault_profile, seed=args.seed)
+
+
+def _print_error_report(dataset, out) -> None:
+    table = TextTable(
+        ["Day", "Total", "NOERROR", "NXDOMAIN", "SERVFAIL", "TIMEOUT", "REFUSED"],
+        aligns=["<", ">", ">", ">", ">", ">", ">"],
+    )
+    for day, total, noerror, nxdomain, servfail, timeout, refused in dataset.error_class_rows():
+        table.add_row([day.isoformat(), total, noerror, nxdomain, servfail, timeout, refused])
+    print("\nrDNS error classes by day (Figure 6):", file=out)
+    print(table.render(), file=out)
+
+
 def _print_campaign_timings(campaign: SupplementalCampaign, out) -> None:
     metrics = campaign.last_metrics
     if metrics is None:
@@ -188,6 +225,7 @@ def cmd_study(args, out) -> int:
     config.snapshot_cache = _snapshot_cache(args)
     config.campaign_workers = args.workers
     config.campaign_cache = _campaign_cache(args)
+    config.fault_plan = _fault_plan(args)
     study = ReproductionStudy(config)
     report = study.dynamicity()
     print(
@@ -219,7 +257,8 @@ def cmd_study(args, out) -> int:
 
 def cmd_campaign(args, out) -> int:
     world = _world(args)
-    campaign = SupplementalCampaign(world, networks=args.networks)
+    plan = _fault_plan(args)
+    campaign = SupplementalCampaign(world, networks=args.networks, fault_plan=plan)
     dataset = campaign.run(
         args.start, args.end, workers=args.workers, cache=_campaign_cache(args)
     )
@@ -235,6 +274,19 @@ def cmd_campaign(args, out) -> int:
     for name, net_type, _, observed, percent in dataset.table4_rows():
         table.add_row([name, net_type, observed, round(percent, 1)])
     print(table.render(), file=out)
+    if plan is not None or args.error_report:
+        _print_error_report(dataset, out)
+    if plan is not None:
+        metrics = campaign.last_metrics
+        counters = metrics.fault_counters if metrics is not None else {}
+        print(
+            f"\nFault profile '{plan.name}' active: "
+            f"{counters.get('echoes_lost', 0):,} echoes lost "
+            f"({counters.get('icmp_retries', 0):,} ICMP retries), "
+            f"{counters.get('rdns_timeouts', 0):,} rDNS timeouts over "
+            f"{counters.get('rdns_attempts', 0):,} attempts",
+            file=out,
+        )
     if args.icmp_csv:
         rows = write_icmp_csv(args.icmp_csv, dataset.icmp)
         print(f"wrote {rows:,} ICMP rows to {args.icmp_csv}", file=out)
@@ -253,25 +305,38 @@ def cmd_campaign(args, out) -> int:
 
 def cmd_track(args, out) -> int:
     world = _world(args)
-    campaign = SupplementalCampaign(world, networks=[args.network])
+    plan = _fault_plan(args)
+    campaign = SupplementalCampaign(world, networks=[args.network], fault_plan=plan)
     dataset = campaign.run(args.start, args.end)
     tracker = DeviceTracker(dataset.rdns)
     days = (args.end - args.start).days
     labels = BRIAN_HOSTNAME_LABELS if args.name.lower() == "brian" and args.network == "Academic-A" else None
-    matrix = tracker.presence_matrix(args.name, args.start, days, network=args.network, labels=labels)
+    matrix = tracker.presence_matrix(
+        args.name,
+        args.start,
+        days,
+        network=args.network,
+        labels=labels,
+        mark_unknown=plan is not None,
+    )
     if not any(any(row) for row in matrix.values()):
         print(f"no devices matching {args.name!r} observed on {args.network}", file=out)
         return 1
     print(f"Devices containing {args.name!r} on {args.network}, {args.start}..{args.end}:", file=out)
     for label in sorted(matrix):
-        cells = "".join("#" if seen else "." for seen in matrix[label])
+        cells = "".join(
+            "#" if seen else ("?" if seen is None else ".") for seen in matrix[label]
+        )
         print(f"  {label:24s} {cells}", file=out)
+    if plan is not None and any(None in row for row in matrix.values()):
+        print("  ('?' = not seen on a day with failed lookups: coverage gap, not absence)", file=out)
     return 0
 
 
 def cmd_heist(args, out) -> int:
     world = _world(args)
-    campaign = SupplementalCampaign(world, networks=[args.network])
+    fault_plan = _fault_plan(args)
+    campaign = SupplementalCampaign(world, networks=[args.network], fault_plan=fault_plan)
     dataset = campaign.run(args.start, args.end)
     planner = HeistPlanner(dataset, args.network)
     plan = planner.plan(source=args.source, weekdays_only=True)
@@ -282,6 +347,12 @@ def cmd_heist(args, out) -> int:
         value = plan.activity_by_hour.get(hour, 0.0)
         bar = "#" * int(round(24 * value / peak))
         print(f"  {hour:02d}:00 {value:7.1f} {bar}", file=out)
+    if fault_plan is not None:
+        print(
+            f"  (fault profile '{fault_plan.name}' active: each hourly average "
+            f"rests on >= {plan.min_samples()} measured hours)",
+            file=out,
+        )
     return 0
 
 
@@ -305,7 +376,7 @@ def cmd_snapshot(args, out) -> int:
 
 def cmd_audit(args, out) -> int:
     world = _world(args)
-    campaign = SupplementalCampaign(world, networks=args.networks)
+    campaign = SupplementalCampaign(world, networks=args.networks, fault_plan=_fault_plan(args))
     dataset = campaign.run(args.start, args.end)
     reports = audit_by_network(dataset.rdns)
     table = TextTable(

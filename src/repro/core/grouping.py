@@ -78,7 +78,14 @@ class ActivityGroup:
         if not post:
             return False
         for observation in post:
-            if observation.status in (ResolutionStatus.SERVFAIL, ResolutionStatus.TIMEOUT):
+            if observation.status in (
+                ResolutionStatus.SERVFAIL,
+                ResolutionStatus.TIMEOUT,
+                ResolutionStatus.REFUSED,
+            ):
+                # A failed lookup leaves the removal moment uncertain:
+                # the record may have vanished inside the blind spot, so
+                # the group cannot count as a clean success (Section 6.2).
                 return False
             if observation.status is ResolutionStatus.NXDOMAIN:
                 return True  # clean sequence up to the removal signal

@@ -13,7 +13,7 @@ from __future__ import annotations
 import datetime as dt
 import ipaddress
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.netsim.simtime import HOUR, date_of, hour_of_day, is_weekend
@@ -120,11 +120,21 @@ def hourly_activity(
 
 @dataclass
 class HeistPlan:
-    """The planner's recommendation."""
+    """The planner's recommendation.
+
+    ``samples_by_hour`` counts how many measured hours back each
+    average; under fault injection (lost probes, failed lookups) a
+    recommendation resting on very few samples deserves suspicion.
+    """
 
     hour_of_day: int
     average_activity: float
     activity_by_hour: Dict[int, float]
+    samples_by_hour: Dict[int, int] = field(default_factory=dict)
+
+    def min_samples(self) -> int:
+        """The thinnest evidence behind any hour's average."""
+        return min(self.samples_by_hour.values(), default=0)
 
 
 class HeistPlanner:
@@ -178,4 +188,5 @@ class HeistPlanner:
             hour_of_day=best_hour,
             average_activity=averages[best_hour],
             activity_by_hour=dict(sorted(averages.items())),
+            samples_by_hour=dict(sorted(counts.items())),
         )

@@ -21,6 +21,7 @@ from repro.core.leaks import LeakIdentifier, LeakReport, LeakThresholds
 from repro.core.names import GivenNameMatcher
 from repro.core.prefixes import AnnouncedPrefixMap
 from repro.core.timing import LingeringAnalysis, lingering_analysis
+from repro.netsim.faults import FaultPlan
 from repro.netsim.internet import World, WorldScale, build_world
 from repro.netsim.network import NetworkType
 from repro.scan.cache import CampaignCache, SnapshotCache
@@ -66,6 +67,11 @@ class StudyConfig:
     snapshot_cache: Optional[SnapshotCache] = None
     campaign_workers: int = 1
     campaign_cache: Optional[CampaignCache] = None
+    #: Optional :class:`repro.netsim.faults.FaultPlan` applied to the
+    #: supplemental campaign.  ``None`` (the default) leaves the
+    #: decision to the ``REPRO_FAULT_PROFILE`` environment variable;
+    #: outputs are unchanged unless a plan is actually active.
+    fault_plan: Optional["FaultPlan"] = None
 
     @classmethod
     def quick(cls, seed: int = 0) -> "StudyConfig":
@@ -165,7 +171,14 @@ class ReproductionStudy:
     def supplemental(self) -> SupplementalDataset:
         """Section 6.1: run the supplemental campaign."""
         if self._supplemental is None:
-            campaign = SupplementalCampaign(self.world)
+            if self.config.fault_plan is not None:
+                campaign = SupplementalCampaign(
+                    self.world, fault_plan=self.config.fault_plan
+                )
+            else:
+                # No explicit plan: the campaign consults the
+                # REPRO_FAULT_PROFILE environment variable itself.
+                campaign = SupplementalCampaign(self.world)
             self._supplemental = campaign.run(
                 self.config.supplemental_start,
                 self.config.supplemental_end,

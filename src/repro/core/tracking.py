@@ -13,6 +13,7 @@ import datetime as dt
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.dns.resolver import ResolutionStatus
 from repro.netsim.simtime import date_of
 from repro.scan.observations import RdnsObservation
 
@@ -57,10 +58,33 @@ class TrackedDevice:
 
 
 class DeviceTracker:
-    """Follows devices whose hostnames contain a given name."""
+    """Follows devices whose hostnames contain a given name.
+
+    Only successful observations carry hostnames, but failed lookups
+    are remembered per (network, day): under fault injection a blank
+    day may mean "device absent" *or* "the measurement failed", and
+    :meth:`presence_matrix` can surface the difference.
+    """
 
     def __init__(self, observations: Iterable[RdnsObservation]):
-        self._observations = [obs for obs in observations if obs.ok]
+        self._observations = []
+        self._error_days: Dict[str, Set[dt.date]] = {}
+        for obs in observations:
+            if obs.ok:
+                self._observations.append(obs)
+            elif obs.status is not ResolutionStatus.NXDOMAIN:
+                # NXDOMAIN is an answer (the record is gone), not a
+                # measurement failure; everything else is a blind spot.
+                self._error_days.setdefault(obs.network, set()).add(date_of(obs.at))
+
+    def error_days(self, network: Optional[str] = None) -> Set[dt.date]:
+        """Days on which at least one lookup failed (per network)."""
+        if network is not None:
+            return set(self._error_days.get(network, set()))
+        merged: Set[dt.date] = set()
+        for days in self._error_days.values():
+            merged |= days
+        return merged
 
     def track(self, name: str, *, network: Optional[str] = None) -> Dict[str, TrackedDevice]:
         """Tracked devices for one given name, keyed by hostname label.
@@ -92,17 +116,28 @@ class DeviceTracker:
         *,
         network: Optional[str] = None,
         labels: Optional[Sequence[str]] = None,
-    ) -> Dict[str, List[bool]]:
-        """Label-by-day presence booleans — the grid of Figure 8."""
+        mark_unknown: bool = False,
+    ) -> Dict[str, List[Optional[bool]]]:
+        """Label-by-day presence booleans — the grid of Figure 8.
+
+        With ``mark_unknown``, a day on which the device was *not* seen
+        but lookups in its network failed is reported as ``None``
+        instead of ``False``: the tracker cannot distinguish "device
+        away" from "measurement blinded" on such days.
+        """
         devices = self.track(name, network=network)
         if labels is None:
             labels = sorted(devices)
-        matrix: Dict[str, List[bool]] = {}
+        unknown_days = self.error_days(network) if mark_unknown else set()
+        matrix: Dict[str, List[Optional[bool]]] = {}
         span = [start + dt.timedelta(days=offset) for offset in range(days)]
         for label in labels:
             device = devices.get(label)
             seen_days = set(device.days_seen()) if device else set()
-            matrix[label] = [day in seen_days for day in span]
+            matrix[label] = [
+                True if day in seen_days else (None if day in unknown_days else False)
+                for day in span
+            ]
         return matrix
 
     def new_device_appearances(

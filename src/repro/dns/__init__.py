@@ -20,7 +20,7 @@ from repro.dns.message import DnsMessage, Question
 from repro.dns.name import DomainName, from_reverse_pointer, reverse_pointer
 from repro.dns.rcode import Opcode, Rcode, RecordClass, RecordType
 from repro.dns.records import ResourceRecord, RRset, make_ptr
-from repro.dns.resolver import ResolutionResult, ResolutionStatus, StubResolver
+from repro.dns.resolver import ResolutionResult, ResolutionStatus, ServerHealth, StubResolver
 from repro.dns.server import AuthoritativeServer, FailureModel, ServerBehavior
 from repro.dns.zone import ReverseZone, ZoneChange, ZoneChangeKind
 
@@ -44,6 +44,7 @@ __all__ = [
     "ReverseZone",
     "RRset",
     "ServerBehavior",
+    "ServerHealth",
     "StubResolver",
     "ZoneChange",
     "ZoneChangeKind",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.dns.errors import NoSuchZoneError
@@ -27,17 +27,55 @@ DEFAULT_RETRIES = 1
 
 
 class ResolutionStatus(enum.Enum):
-    """Outcome classes, matching the paper's Figure 6 categories."""
+    """Outcome classes, matching the paper's Figure 6 categories.
+
+    REFUSED is kept distinct from SERVFAIL: a server-side refusal (the
+    server answers, but declines) is a policy signal, not a failure,
+    and folding the two together would distort the Figure 6 breakdown.
+    """
 
     NOERROR = "noerror"
     NXDOMAIN = "nxdomain"
     SERVFAIL = "servfail"
     TIMEOUT = "timeout"
+    REFUSED = "refused"
     NO_SERVER = "no_server"
 
     @property
     def is_error(self) -> bool:
         return self is not ResolutionStatus.NOERROR
+
+
+@dataclass
+class ServerHealth:
+    """Per-authoritative-server health counters kept by the resolver."""
+
+    queries: int = 0
+    answers: int = 0
+    timeouts: int = 0
+    servfails: int = 0
+    refused: int = 0
+    consecutive_timeouts: int = 0
+    max_consecutive_timeouts: int = 0
+
+    def record(self, status: "ResolutionStatus", timeouts_seen: int) -> None:
+        """Fold one completed lookup (with its timed-out attempts) in."""
+        self.queries += 1
+        if timeouts_seen:
+            self.timeouts += timeouts_seen
+            self.consecutive_timeouts += timeouts_seen
+            self.max_consecutive_timeouts = max(
+                self.max_consecutive_timeouts, self.consecutive_timeouts
+            )
+        if status is ResolutionStatus.SERVFAIL:
+            self.servfails += 1
+        elif status is ResolutionStatus.REFUSED:
+            self.refused += 1
+        if status is not ResolutionStatus.TIMEOUT:
+            # Any response — even SERVFAIL/REFUSED — proves the server
+            # is reachable again.
+            self.answers += 1
+            self.consecutive_timeouts = 0
 
 
 @dataclass(frozen=True)
@@ -63,16 +101,31 @@ class StubResolver:
         *,
         timeout_seconds: float = DEFAULT_TIMEOUT_SECONDS,
         retries: int = DEFAULT_RETRIES,
+        backoff_base: float = 0.0,
+        fault_plan=None,
     ):
         if timeout_seconds <= 0:
             raise ValueError("timeout_seconds must be positive")
         if retries < 0:
             raise ValueError("retries must be non-negative")
+        if backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
         self.timeout_seconds = timeout_seconds
         self.retries = retries
+        #: With ``backoff_base > 0``, each retry waits
+        #: ``backoff_base * 2**(attempt-1)`` seconds, scaled by a
+        #: deterministic jitter factor in [0.5, 1.5) — the Section 6.1
+        #: retry discipline, reproducible across runs.
+        self.backoff_base = backoff_base
+        #: Optional :class:`repro.netsim.faults.FaultPlan` forwarded to
+        #: every authoritative server on the query path.
+        self.fault_plan = fault_plan
         self._delegations: Dict[DomainName, AuthoritativeServer] = {}
         self._msg_ids = itertools.count(1)
         self.queries_sent = 0
+        self.timeouts_seen = 0
+        #: Per-server health, keyed by server name.
+        self.server_health: Dict[str, ServerHealth] = {}
 
     def delegate(self, server: AuthoritativeServer) -> None:
         """Register every zone origin served by ``server``."""
@@ -92,48 +145,90 @@ class StubResolver:
                     best_origin, best_server = origin, server
         return best_server
 
-    def resolve_name(self, name: DomainName) -> ResolutionResult:
-        """Resolve a PTR query for an arbitrary reverse name."""
+    def backoff_delay(self, name: DomainName, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based).
+
+        Exponential in the attempt number, scaled by deterministic
+        jitter: the fault plan's keyed stream when one is attached,
+        otherwise a stable hash of (name, attempt) — either way the
+        same inputs always produce the same schedule.
+        """
+        if self.backoff_base <= 0:
+            return 0.0
+        if self.fault_plan is not None:
+            jitter = self.fault_plan.backoff_jitter(str(name), attempt)
+        else:
+            from repro.netsim.faults import keyed_uniform
+
+            jitter = keyed_uniform(0, "backoff", str(name), attempt)
+        return self.backoff_base * (2 ** (attempt - 1)) * (0.5 + jitter)
+
+    def resolve_name(
+        self, name: DomainName, *, at: Optional[int] = None, network: str = ""
+    ) -> ResolutionResult:
+        """Resolve a PTR query for an arbitrary reverse name.
+
+        ``at`` (simulation seconds) and ``network`` key the fault plan's
+        deterministic draws; both are optional and ignored when no plan
+        is attached.
+        """
         server = self.server_for(name)
         if server is None:
             return ResolutionResult(name, ResolutionStatus.NO_SERVER)
         attempts = 0
         elapsed = 0.0
+        timeouts = 0
         response: Optional[DnsMessage] = None
         for _ in range(self.retries + 1):
             attempts += 1
             self.queries_sent += 1
             query = DnsMessage.query(name, RecordType.PTR, msg_id=next(self._msg_ids))
             try:
-                response = server.handle(query)
+                response = server.handle(
+                    query, at=at, network=network, faults=self.fault_plan
+                )
             except NoSuchZoneError:
                 response = query.response(Rcode.REFUSED)
             if response is not None:
                 break
-            elapsed += self.timeout_seconds
+            timeouts += 1
+            elapsed += self.timeout_seconds + self.backoff_delay(name, attempts)
+        self.timeouts_seen += timeouts
         if response is None:
-            return ResolutionResult(name, ResolutionStatus.TIMEOUT, attempts=attempts, elapsed_seconds=elapsed)
-        if response.rcode is Rcode.NXDOMAIN:
+            status = ResolutionStatus.TIMEOUT
+        elif response.rcode is Rcode.NXDOMAIN:
             status = ResolutionStatus.NXDOMAIN
         elif response.rcode is Rcode.NOERROR and response.answers:
             status = ResolutionStatus.NOERROR
         elif response.rcode is Rcode.NOERROR:
             # NODATA for PTR behaves like a missing record for our purposes.
             status = ResolutionStatus.NXDOMAIN
+        elif response.rcode is Rcode.REFUSED:
+            status = ResolutionStatus.REFUSED
         else:
             status = ResolutionStatus.SERVFAIL
+        health = self.server_health.get(server.name)
+        if health is None:
+            health = self.server_health[server.name] = ServerHealth()
+        health.record(status, timeouts)
+        if response is None:
+            return ResolutionResult(
+                name, ResolutionStatus.TIMEOUT, attempts=attempts, elapsed_seconds=elapsed
+            )
         hostname: Optional[str] = None
         if status is ResolutionStatus.NOERROR:
             hostname = response.answers[0].rdata_text().rstrip(".")
         return ResolutionResult(name, status, hostname, attempts, elapsed)
 
-    def resolve_ptr(self, address: IPAddress) -> ResolutionResult:
+    def resolve_ptr(
+        self, address: IPAddress, *, at: Optional[int] = None, network: str = ""
+    ) -> ResolutionResult:
         """Resolve the PTR record for an IP address.
 
         This is the operation the rDNS scanners perform: reverse the
         address and ask the authoritative server for a fresh answer.
         """
-        return self.resolve_name(reverse_pointer(address))
+        return self.resolve_name(reverse_pointer(address), at=at, network=network)
 
     def resolve_many(self, addresses: List[IPAddress]) -> List[ResolutionResult]:
         return [self.resolve_ptr(address) for address in addresses]

@@ -97,9 +97,36 @@ class AuthoritativeServer:
             raise NoSuchZoneError(f"{self.name} serves no zone for {name}")
         return best
 
-    def handle(self, query: DnsMessage) -> Optional[DnsMessage]:
-        """Answer one query; ``None`` models a timeout."""
+    def handle(
+        self,
+        query: DnsMessage,
+        *,
+        at: Optional[int] = None,
+        network: str = "",
+        faults=None,
+    ) -> Optional[DnsMessage]:
+        """Answer one query; ``None`` models a timeout.
+
+        ``faults`` (a :class:`repro.netsim.faults.FaultPlan`) injects
+        timeouts, SERVFAILs, transient REFUSEDs, flaps and scheduled
+        outages keyed on ``(network, question, at)`` — stateless draws,
+        so any caller in any process sees the same outcome.  The legacy
+        :class:`FailureModel` (sequential draws) still applies when no
+        plan fires.
+        """
         self.queries_handled += 1
+        if faults is not None:
+            key = str(query.questions[0].name) if query.questions else ""
+            injected = faults.server_behavior(network or self.name, key, at or 0)
+            if injected == "timeout":
+                self.failures_injected += 1
+                return None
+            if injected == "servfail":
+                self.failures_injected += 1
+                return query.response(Rcode.SERVFAIL)
+            if injected == "refused":
+                self.failures_injected += 1
+                return query.response(Rcode.REFUSED)
         behavior = self.failure_model.draw()
         if behavior is ServerBehavior.TIMEOUT:
             self.failures_injected += 1

@@ -38,6 +38,14 @@ from repro.netsim.network import (
     SubnetRole,
 )
 from repro.netsim.internet import Internet
+from repro.netsim.faults import (
+    FAULT_PROFILES,
+    FaultPlan,
+    NetworkFaultProfile,
+    OutageWindow,
+    plan_from_profile,
+    resolve_fault_plan,
+)
 from repro.netsim.spec import build_world_from_file, build_world_from_spec, validate_spec
 
 __all__ = [
@@ -47,6 +55,8 @@ __all__ = [
     "Device",
     "DeviceModel",
     "DeviceNaming",
+    "FAULT_PROFILES",
+    "FaultPlan",
     "HOUR",
     "HolidayCalendar",
     "IcmpPolicy",
@@ -54,7 +64,9 @@ __all__ = [
     "MINUTE",
     "MODEL_CATALOG",
     "Network",
+    "NetworkFaultProfile",
     "NetworkType",
+    "OutageWindow",
     "Person",
     "PersonGenerator",
     "PresenceProfile",
@@ -71,6 +83,8 @@ __all__ = [
     "build_world_from_spec",
     "cyber_monday",
     "from_datetime",
+    "plan_from_profile",
+    "resolve_fault_plan",
     "thanksgiving",
     "to_datetime",
     "ts",

@@ -32,6 +32,11 @@ from repro.netsim.simtime import DAY, from_date
 
 DEFAULT_SWEEP_INTERVAL = 300  # expire leases at probe granularity
 
+#: Outcomes of one echo request (:meth:`NetworkRuntime.echo_outcome`).
+ECHO_REPLY = 0  # the host answered
+ECHO_SILENT = 1  # nothing there (offline, ping-blocking, non-responding)
+ECHO_LOST = 2  # the host would answer, but the packet was dropped
+
 
 class _SubnetRuntime:
     """DHCP server + IPAM bridge for one device-backed subnet."""
@@ -58,10 +63,15 @@ class NetworkRuntime:
         engine: SimulationEngine,
         *,
         sweep_interval: int = DEFAULT_SWEEP_INTERVAL,
+        fault_plan=None,
     ):
         self.network = network
         self.engine = engine
         self.sweep_interval = sweep_interval
+        #: Optional :class:`repro.netsim.faults.FaultPlan`; when set,
+        #: echo replies are dropped probabilistically (deterministic,
+        #: keyed by network/address/time/attempt).
+        self.fault_plan = fault_plan
         self._subnets: List[_SubnetRuntime] = [
             _SubnetRuntime(network, subnet) for subnet in network.device_backed_subnets()
         ]
@@ -197,18 +207,37 @@ class NetworkRuntime:
     def device_at(self, address) -> Optional[Device]:
         return self._online.get(ipaddress.ip_address(address))
 
-    def is_icmp_responsive(self, address) -> bool:
-        """Would an echo request to ``address`` be answered right now?"""
+    def echo_outcome(self, address, at: Optional[int] = None, attempt: int = 0) -> int:
+        """What one echo request to ``address`` sees right now.
+
+        Returns :data:`ECHO_REPLY`, :data:`ECHO_SILENT` or — only under
+        a fault plan — :data:`ECHO_LOST` (the host is up but this
+        particular packet was dropped).  Loss draws are keyed on
+        (network, address, time, attempt), so retries at the same
+        instant see independent, reproducible outcomes.
+        """
         if isinstance(address, ipaddress.IPv4Address):
             ip = address  # hot path: the sweeper probes millions of times
         else:
             ip = ipaddress.ip_address(address)
         if ip in self.network.icmp_allowlist:
-            return True
-        if self.network.icmp_policy is IcmpPolicy.BLOCK:
-            return False
-        device = self._online.get(ip)
-        return device is not None and device.icmp_responds
+            responds = True
+        elif self.network.icmp_policy is IcmpPolicy.BLOCK:
+            return ECHO_SILENT
+        else:
+            device = self._online.get(ip)
+            responds = device is not None and device.icmp_responds
+        if not responds:
+            return ECHO_SILENT
+        if self.fault_plan is not None:
+            when = self.engine.now if at is None else at
+            if self.fault_plan.echo_lost(self.network.name, int(ip), when, attempt):
+                return ECHO_LOST
+        return ECHO_REPLY
+
+    def is_icmp_responsive(self, address, at: Optional[int] = None, attempt: int = 0) -> bool:
+        """Would an echo request to ``address`` be answered right now?"""
+        return self.echo_outcome(address, at, attempt) == ECHO_REPLY
 
 
 def build_runtimes(
@@ -216,9 +245,12 @@ def build_runtimes(
     engine: SimulationEngine,
     *,
     sweep_interval: int = DEFAULT_SWEEP_INTERVAL,
+    fault_plan=None,
 ) -> Dict[str, NetworkRuntime]:
     """One runtime per network, keyed by network name."""
     return {
-        network.name: NetworkRuntime(network, engine, sweep_interval=sweep_interval)
+        network.name: NetworkRuntime(
+            network, engine, sweep_interval=sweep_interval, fault_plan=fault_plan
+        )
         for network in networks
     }

@@ -141,9 +141,13 @@ class Internet:
         digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
         return digest.hexdigest()
 
-    def resolver(self) -> StubResolver:
-        """A stub resolver delegated to every network's name server."""
-        resolver = StubResolver()
+    def resolver(self, **kwargs) -> StubResolver:
+        """A stub resolver delegated to every network's name server.
+
+        Keyword arguments (``retries``, ``backoff_base``,
+        ``fault_plan``, ...) are forwarded to :class:`StubResolver`.
+        """
+        resolver = StubResolver(**kwargs)
         for network in self._networks.values():
             resolver.delegate(network.server)
         return resolver

@@ -192,20 +192,23 @@ class CampaignCache(_JsonFileCache):
         sweep_interval: int,
         rdns_rate: float,
         blocklist: Sequence[str],
+        fault_token: Optional[str] = None,
     ) -> str:
-        material = json.dumps(
-            {
-                "version": FORMAT_VERSION,
-                "world": world_token,
-                "networks": list(networks),
-                "start": start.isoformat(),
-                "end": end.isoformat(),
-                "schedule_steps": [list(step) for step in schedule_steps],
-                "schedule_tail": schedule_tail,
-                "sweep_interval": sweep_interval,
-                "rdns_rate": rdns_rate,
-                "blocklist": sorted(blocklist),
-            },
-            sort_keys=True,
-        )
+        fields = {
+            "version": FORMAT_VERSION,
+            "world": world_token,
+            "networks": list(networks),
+            "start": start.isoformat(),
+            "end": end.isoformat(),
+            "schedule_steps": [list(step) for step in schedule_steps],
+            "schedule_tail": schedule_tail,
+            "sweep_interval": sweep_interval,
+            "rdns_rate": rdns_rate,
+            "blocklist": sorted(blocklist),
+        }
+        # Only fault-injected runs carry the token: keeping it out of
+        # clean-run material preserves every pre-fault cache key.
+        if fault_token is not None:
+            fields["faults"] = fault_token
+        material = json.dumps(fields, sort_keys=True)
         return hashlib.sha256(material.encode("utf-8")).hexdigest()

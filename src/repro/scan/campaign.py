@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.dns.resolver import ResolutionStatus
 from repro.netsim.engine import SimulationEngine
+from repro.netsim.faults import FaultPlan, resolve_fault_plan
 from repro.netsim.finegrained import build_runtimes
 from repro.netsim.internet import World
 from repro.netsim.network import NetworkType
@@ -89,6 +90,11 @@ class CampaignMetrics:
     simulate_seconds: float = 0.0
     total_seconds: float = 0.0
     per_network_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Name of the active fault plan (``None`` = clean run).
+    fault_profile: Optional[str] = None
+    #: Summed instrument counters (probes sent/lost, retries, rDNS
+    #: attempts/timeouts, clock-skew clamps) across all networks.
+    fault_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def observations(self) -> int:
@@ -190,6 +196,32 @@ class SupplementalDataset:
             )
         return rows
 
+    def error_class_rows(
+        self,
+    ) -> List[Tuple[dt.date, int, int, int, int, int, int]]:
+        """(day, total, noerror, nxdomain, servfail, timeout, refused).
+
+        The full Figure-6 error-class breakdown, one row per measured
+        day.  Unlike :meth:`error_rows` (whose 5-tuple shape predates
+        fault injection and is kept stable for existing consumers),
+        this includes successful lookups and the REFUSED class, so
+        the columns sum to the total.
+        """
+        rows = []
+        for day, counts in sorted(self.rdns_outcomes_by_day().items()):
+            rows.append(
+                (
+                    day,
+                    sum(counts.values()),
+                    counts.get(ResolutionStatus.NOERROR, 0),
+                    counts.get(ResolutionStatus.NXDOMAIN, 0),
+                    counts.get(ResolutionStatus.SERVFAIL, 0),
+                    counts.get(ResolutionStatus.TIMEOUT, 0),
+                    counts.get(ResolutionStatus.REFUSED, 0),
+                )
+            )
+        return rows
+
     # -- cache serialisation -------------------------------------------------
 
     def to_payload(self) -> dict:
@@ -251,6 +283,9 @@ class NetworkCampaignResult:
     sweeps_run: int
     events_run: int
     seconds: float
+    #: Instrument counters (probe/lookup/retry/loss totals); empty on
+    #: clean runs for backwards-compatible equality.
+    counters: Dict[str, int] = field(default_factory=dict)
 
 
 def run_network_campaign(
@@ -263,6 +298,7 @@ def run_network_campaign(
     sweep_interval: int = HOUR,
     rdns_rate: float = 50.0,
     blocklist: Iterable = (),
+    fault_plan: Optional[FaultPlan] = None,
 ) -> NetworkCampaignResult:
     """Measure one network over the half-open ``[start, end)`` window.
 
@@ -270,17 +306,31 @@ def run_network_campaign(
     sweeper, resolver, rate-limit bucket — is private to the network, so
     the result is a deterministic function of (world, name, window,
     parameters) regardless of which process runs it or in what order.
+    A ``fault_plan`` keeps that property: every loss/outage draw is a
+    stateless keyed hash, so faults are identical under any execution
+    order or process split.
     """
     started = time.perf_counter()
     last_day = end - dt.timedelta(days=1)
     engine = SimulationEngine(start=from_date(start))
     network = world.supplemental[name]
-    runtimes = build_runtimes([network], engine)
+    runtimes = build_runtimes([network], engine, fault_plan=fault_plan)
     runtimes[name].start(start, last_day)
 
-    scanner = IcmpScanner(runtimes, blocklist=blocklist)
+    if fault_plan is not None:
+        scanner = IcmpScanner(
+            runtimes, blocklist=blocklist, retries=fault_plan.icmp_retry_budget
+        )
+        resolver = world.internet.resolver(
+            retries=fault_plan.rdns_retry_budget,
+            backoff_base=fault_plan.rdns_backoff_base,
+            fault_plan=fault_plan,
+        )
+    else:
+        scanner = IcmpScanner(runtimes, blocklist=blocklist)
+        resolver = world.internet.resolver()
     rdns = RdnsLookupEngine(
-        world.internet.resolver(),
+        resolver,
         rate_limit=TokenBucket(rdns_rate, rdns_rate * 10),
     )
     end_ts = from_date(last_day) + DAY - 1
@@ -297,6 +347,20 @@ def run_network_campaign(
     targets = {name: [str(subnet.prefix) for subnet in world.supplemental_targets(name)]}
     monitor.start(targets, end=end_ts)
     engine.run_until(end_ts)
+    counters: Dict[str, int] = {}
+    if fault_plan is not None:
+        counters = {
+            "probes_sent": scanner.probes_sent,
+            "probes_suppressed": scanner.probes_suppressed,
+            "echoes_lost": scanner.echoes_lost,
+            "icmp_retries": scanner.retries_sent,
+            "lookups": rdns.lookups_performed,
+            "rdns_attempts": rdns.attempts_made,
+            "rdns_timeouts": rdns.timeouts_seen,
+            "clock_skew_events": (
+                rdns.rate_limit.clock_skew_events if rdns.rate_limit else 0
+            ),
+        }
     return NetworkCampaignResult(
         network=name,
         icmp=monitor.icmp_observations,
@@ -304,7 +368,14 @@ def run_network_campaign(
         sweeps_run=monitor.sweeps_run,
         events_run=engine.events_run,
         seconds=time.perf_counter() - started,
+        counters=counters,
     )
+
+
+#: Sentinel distinguishing "fault_plan not given" (consult the
+#: ``REPRO_FAULT_PROFILE`` environment variable) from an explicit
+#: ``fault_plan=None`` (force a clean run).
+_FAULTS_FROM_ENV = object()
 
 
 class SupplementalCampaign:
@@ -319,6 +390,7 @@ class SupplementalCampaign:
         sweep_interval: int = HOUR,
         rdns_rate: float = 50.0,
         blocklist: Iterable = (),
+        fault_plan=_FAULTS_FROM_ENV,
     ):
         self.world = world
         # Default to every supplemental-flagged network in the world
@@ -329,6 +401,9 @@ class SupplementalCampaign:
         self.sweep_interval = sweep_interval
         self.rdns_rate = rdns_rate
         self.blocklist = list(blocklist)
+        if fault_plan is _FAULTS_FROM_ENV:
+            fault_plan = resolve_fault_plan(None, seed=world.rngs.seed)
+        self.fault_plan: Optional[FaultPlan] = fault_plan
         #: Counters from the most recent :meth:`run` call.
         self.last_metrics: Optional[CampaignMetrics] = None
 
@@ -340,7 +415,12 @@ class SupplementalCampaign:
         return targets
 
     def cache_key(self, cache: "CampaignCache", start: dt.date, end: dt.date) -> str:
-        """The cache key one ``run(start, end)`` would use."""
+        """The cache key one ``run(start, end)`` would use.
+
+        The fault plan token is folded in only when a plan is active,
+        so clean runs keep exactly the keys they had before fault
+        injection existed (cached datasets stay valid).
+        """
         return cache.key_for(
             world_token=self.world.internet.cache_token(),
             networks=self.network_names,
@@ -351,6 +431,9 @@ class SupplementalCampaign:
             sweep_interval=self.sweep_interval,
             rdns_rate=self.rdns_rate,
             blocklist=[str(entry) for entry in self.blocklist],
+            fault_token=(
+                self.fault_plan.cache_token() if self.fault_plan is not None else None
+            ),
         )
 
     def run(
@@ -382,6 +465,8 @@ class SupplementalCampaign:
         metrics = CampaignMetrics(
             workers=max(1, workers), networks=len(self.network_names)
         )
+        if self.fault_plan is not None:
+            metrics.fault_profile = self.fault_plan.name
         self.last_metrics = metrics
 
         key: Optional[str] = None
@@ -410,6 +495,11 @@ class SupplementalCampaign:
         metrics.per_network_seconds = {
             result.network: result.seconds for result in results
         }
+        for result in results:
+            for counter, value in result.counters.items():
+                metrics.fault_counters[counter] = (
+                    metrics.fault_counters.get(counter, 0) + value
+                )
 
         if cache is not None and key is not None:
             cache.store(key, dataset.to_payload())
@@ -442,6 +532,7 @@ class SupplementalCampaign:
                 sweep_interval=self.sweep_interval,
                 rdns_rate=self.rdns_rate,
                 blocklist=self.blocklist,
+                fault_plan=self.fault_plan,
             )
             for name in self.network_names
         ]

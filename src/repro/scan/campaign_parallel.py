@@ -35,9 +35,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scan.campaign import NetworkCampaignResult, SupplementalCampaign
 
 #: Per-worker state: (world, schedule, sweep_interval, rdns_rate,
-#: blocklist).  Fork workers inherit it from the parent; spawn workers
-#: get it from the pool initializer.
-_WORKER_STATE: Optional[Tuple[object, object, int, float, list]] = None
+#: blocklist, fault_plan).  Fork workers inherit it from the parent;
+#: spawn workers get it from the pool initializer.
+_WORKER_STATE: Optional[Tuple[object, object, int, float, list, object]] = None
 
 
 def effective_campaign_workers(requested: int, networks: int) -> int:
@@ -62,7 +62,7 @@ def _run_one(task: Tuple[str, str, str]) -> "NetworkCampaignResult":
     from repro.scan.campaign import run_network_campaign
 
     assert _WORKER_STATE is not None, "worker state missing (initializer did not run)"
-    world, schedule, sweep_interval, rdns_rate, blocklist = _WORKER_STATE
+    world, schedule, sweep_interval, rdns_rate, blocklist, fault_plan = _WORKER_STATE
     name, start_iso, end_iso = task
     return run_network_campaign(
         world,
@@ -73,6 +73,7 @@ def _run_one(task: Tuple[str, str, str]) -> "NetworkCampaignResult":
         sweep_interval=sweep_interval,
         rdns_rate=rdns_rate,
         blocklist=blocklist,
+        fault_plan=fault_plan,
     )
 
 
@@ -99,6 +100,7 @@ def run_networks(
         campaign.sweep_interval,
         campaign.rdns_rate,
         list(campaign.blocklist),
+        campaign.fault_plan,
     )
     tasks = [
         (name, start.isoformat(), end.isoformat()) for name in campaign.network_names

@@ -9,15 +9,26 @@ hosts that were reachable in its output." (Section 6.1)
 from __future__ import annotations
 
 import ipaddress
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.netsim.finegrained import NetworkRuntime
+from repro.netsim.finegrained import ECHO_LOST, ECHO_REPLY, NetworkRuntime
 from repro.scan.observations import IcmpObservation
 from repro.scan.ratelimit import TokenBucket
 
 
 class IcmpScanner:
-    """Sweeps target prefixes against live network runtimes."""
+    """Sweeps target prefixes against live network runtimes.
+
+    ``retries`` is the per-probe retry budget used under fault
+    injection: a probe whose echo was *lost* (the host is up, the
+    packet dropped — :data:`repro.netsim.finegrained.ECHO_LOST`) is
+    re-sent up to ``retries`` extra times before the address is written
+    off.  Hosts that are genuinely silent are not retried — in the
+    simulation their state cannot change within one probe burst, so
+    retrying them would only inflate ``probes_sent`` without changing
+    any outcome.  The default budget of 0 preserves ZMap's
+    single-probe behaviour exactly.
+    """
 
     def __init__(
         self,
@@ -25,28 +36,53 @@ class IcmpScanner:
         *,
         rate_limit: Optional[TokenBucket] = None,
         blocklist: Iterable = (),
+        retries: int = 0,
     ):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
         self._runtimes = dict(runtimes)
         self.rate_limit = rate_limit
-        self._blocklist: Set[ipaddress.IPv4Address] = set()
+        self.retries = retries
+        self._blocked_addresses: Set[ipaddress.IPv4Address] = set()
+        #: Opted-out prefixes, kept as (first, last) integer ranges —
+        #: never materialised into individual addresses (a /8 opt-out
+        #: is two integers, not 16M set entries).
+        self._blocked_ranges: List[Tuple[int, int]] = []
         for entry in blocklist:
             self.add_to_blocklist(entry)
         self.probes_sent = 0
         self.probes_suppressed = 0
-        self._target_cache: Dict[str, tuple] = {}
+        #: Probes whose echo was dropped by the fault plan (including
+        #: retried ones) / extra probes spent overcoming loss.
+        self.echoes_lost = 0
+        self.retries_sent = 0
+        self._target_cache: Dict[str, list] = {}
 
     # -- blocklist (the opt-out mechanism) ---------------------------------
 
     def add_to_blocklist(self, entry) -> None:
         """Opt an address or a whole prefix out of the measurement."""
         try:
-            self._blocklist.add(ipaddress.IPv4Address(entry))
+            self._blocked_addresses.add(ipaddress.IPv4Address(entry))
         except ValueError:
             network = ipaddress.IPv4Network(entry)
-            self._blocklist.update(network)
+            first = int(network.network_address)
+            self._blocked_ranges.append((first, first + network.num_addresses - 1))
 
     def is_blocked(self, address) -> bool:
-        return ipaddress.ip_address(address) in self._blocklist
+        ip = ipaddress.ip_address(address)
+        if ip in self._blocked_addresses:
+            return True
+        if self._blocked_ranges:
+            value = int(ip)
+            for first, last in self._blocked_ranges:
+                if first <= value <= last:
+                    return True
+        return False
+
+    @property
+    def _has_blocklist(self) -> bool:
+        return bool(self._blocked_addresses or self._blocked_ranges)
 
     # -- probing ------------------------------------------------------------
 
@@ -56,10 +92,24 @@ class IcmpScanner:
                 return runtime
         return None
 
+    def _echo(self, runtime: NetworkRuntime, address, at: int) -> bool:
+        """Send one probe (plus the retry budget on loss); True on reply."""
+        outcome = runtime.echo_outcome(address, at, 0)
+        attempt = 0
+        while outcome == ECHO_LOST and attempt < self.retries:
+            self.echoes_lost += 1
+            attempt += 1
+            self.probes_sent += 1
+            self.retries_sent += 1
+            outcome = runtime.echo_outcome(address, at, attempt)
+        if outcome == ECHO_LOST:
+            self.echoes_lost += 1
+        return outcome == ECHO_REPLY
+
     def probe(self, address, at: int, *, network: str = "") -> Optional[IcmpObservation]:
         """One echo request; an observation only if the host responded."""
         ip = ipaddress.ip_address(address)
-        if ip in self._blocklist:
+        if self._has_blocklist and self.is_blocked(ip):
             self.probes_suppressed += 1
             return None
         if self.rate_limit is not None and not self.rate_limit.acquire(at):
@@ -67,7 +117,7 @@ class IcmpScanner:
             return None
         self.probes_sent += 1
         runtime = self._runtime_for(ip)
-        if runtime is None or not runtime.is_icmp_responsive(ip):
+        if runtime is None or not self._echo(runtime, ip, at):
             return None
         return IcmpObservation(ip, at, network or runtime.network.name)
 
@@ -75,33 +125,53 @@ class IcmpScanner:
         """Probe every address in the target prefixes; responders only.
 
         ``targets`` may mix prefixes and single addresses, like a ZMap
-        target list.  The per-target runtime and address list are
-        cached: a supplemental campaign sweeps the same prefixes every
-        hour for weeks.
+        target list.  The per-target runtime segments and address lists
+        are cached: a supplemental campaign sweeps the same prefixes
+        every hour for weeks.  Blocklist semantics are identical to
+        :meth:`probe`/:meth:`is_blocked` — prefix opt-outs suppress
+        sweep probes too.
         """
         observations: List[IcmpObservation] = []
+        check_block = self._has_blocklist
         for target in targets:
-            runtime, addresses = self._target_plan(target)
-            for address in addresses:
-                if self._blocklist and address in self._blocklist:
-                    self.probes_suppressed += 1
-                    continue
-                if self.rate_limit is not None and not self.rate_limit.acquire(at):
-                    self.probes_suppressed += 1
-                    continue
-                self.probes_sent += 1
-                if runtime is not None and runtime.is_icmp_responsive(address):
-                    observations.append(
-                        IcmpObservation(address, at, network or runtime.network.name)
-                    )
+            for runtime, addresses in self._target_plan(target):
+                for address in addresses:
+                    if check_block and self.is_blocked(address):
+                        self.probes_suppressed += 1
+                        continue
+                    if self.rate_limit is not None and not self.rate_limit.acquire(at):
+                        self.probes_suppressed += 1
+                        continue
+                    self.probes_sent += 1
+                    if runtime is not None and self._echo(runtime, address, at):
+                        observations.append(
+                            IcmpObservation(address, at, network or runtime.network.name)
+                        )
         return observations
 
-    def _target_plan(self, target):
+    def _target_plan(self, target) -> List[tuple]:
+        """(runtime, addresses) segments for one target.
+
+        The runtime is resolved per address and consecutive addresses
+        sharing a runtime are grouped, so a target that spans two
+        networks attributes each observation to the network that
+        actually answered (one cached runtime per *target* mis-credited
+        every address beyond the first network).
+        """
         plan = self._target_cache.get(str(target))
         if plan is None:
-            addresses = list(self._iter_target(target))
-            runtime = self._runtime_for(addresses[0]) if addresses else None
-            plan = (runtime, addresses)
+            plan = []
+            current_runtime: Optional[NetworkRuntime] = None
+            current: List[ipaddress.IPv4Address] = []
+            for address in self._iter_target(target):
+                runtime = self._runtime_for(address)
+                if current and runtime is not current_runtime:
+                    plan.append((current_runtime, current))
+                    current = []
+                current_runtime = runtime
+                current.append(address)
+            if current:
+                plan.append((current_runtime, current))
             self._target_cache[str(target)] = plan
         return plan
 

@@ -26,10 +26,17 @@ class TokenBucket:
         self.burst = burst
         self._tokens = burst
         self._updated_at = 0.0
+        #: Out-of-order timestamps seen (clock skew / event-merge
+        #: reordering).  Each is clamped to the last refill time rather
+        #: than crashing the scan, but counted so callers can audit.
+        self.clock_skew_events = 0
 
     def _refill(self, now: float) -> None:
         if now < self._updated_at:
-            raise ValueError("time moved backwards")
+            # Merged observation streams can replay a slightly older
+            # timestamp; treat it as "no time has passed" and move on.
+            self.clock_skew_events += 1
+            return
         elapsed = now - self._updated_at
         self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
         self._updated_at = now

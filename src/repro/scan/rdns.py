@@ -26,6 +26,10 @@ class RdnsLookupEngine:
         self.rate_limit = rate_limit
         self.lookups_performed = 0
         self.lookups_suppressed = 0
+        #: Wire-level attempts (including retries) and attempts that
+        #: timed out, summed across all lookups.
+        self.attempts_made = 0
+        self.timeouts_seen = 0
         self.status_counts: Counter = Counter()
 
     def lookup(self, address, at: int, *, network: str = "") -> Optional[RdnsObservation]:
@@ -35,7 +39,10 @@ class RdnsLookupEngine:
             self.lookups_suppressed += 1
             return None
         self.lookups_performed += 1
-        result = self.resolver.resolve_ptr(ip)
+        before = self.resolver.timeouts_seen
+        result = self.resolver.resolve_ptr(ip, at=at, network=network)
+        self.attempts_made += result.attempts
+        self.timeouts_seen += self.resolver.timeouts_seen - before
         self.status_counts[result.status] += 1
         return RdnsObservation(
             address=ip,

@@ -89,6 +89,43 @@ class TestFailureHandling:
             StubResolver(timeout_seconds=0)
         with pytest.raises(ValueError):
             StubResolver(retries=-1)
+        with pytest.raises(ValueError):
+            StubResolver(backoff_base=-1.0)
+
+    def test_refused_is_distinct_from_servfail(self):
+        from repro.netsim.faults import FaultPlan, NetworkFaultProfile
+
+        plan = FaultPlan(
+            default_profile=NetworkFaultProfile(rdns_refused_rate=1.0)
+        )
+        server, _, _ = build_world()
+        resolver = StubResolver(fault_plan=plan)
+        resolver.delegate(server)
+        result = resolver.resolve_ptr("192.0.2.10")
+        assert result.status is ResolutionStatus.REFUSED
+        assert result.status is not ResolutionStatus.SERVFAIL
+        assert result.status.is_error
+        assert resolver.server_health["ns1.example.edu"].refused == 1
+
+    def test_server_health_counters(self):
+        _, _, resolver = build_world(FailureModel(timeout_rate=0.5, seed=5))
+        for _ in range(100):
+            resolver.resolve_ptr("192.0.2.10")
+        health = resolver.server_health["ns1.example.edu"]
+        assert health.queries == 100
+        assert health.answers > 0
+        assert health.timeouts == resolver.timeouts_seen > 0
+        assert health.max_consecutive_timeouts >= 1
+
+    def test_backoff_extends_elapsed_time(self):
+        server, _, _ = build_world(FailureModel(timeout_rate=1.0))
+        resolver = StubResolver(backoff_base=2.0)
+        resolver.delegate(server)
+        result = resolver.resolve_ptr("192.0.2.10")
+        expected_min = resolver.timeout_seconds * result.attempts + sum(
+            2.0 * 2 ** (attempt - 1) * 0.5 for attempt in range(1, result.attempts + 1)
+        )
+        assert result.elapsed_seconds >= expected_min
 
 
 class TestDelegation:

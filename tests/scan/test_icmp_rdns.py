@@ -1,6 +1,7 @@
 """Tests for the ICMP sweeper and rDNS lookup engine."""
 
 import datetime as dt
+import ipaddress
 
 import pytest
 
@@ -98,6 +99,132 @@ class TestIcmpScanner:
         network, engine, runtime = running_network
         scanner = IcmpScanner({"testnet": runtime})
         assert scanner.sweep(["192.168.1.0/30"], engine.now) == []
+
+
+class TestBlocklistPrefixes:
+    def test_large_prefix_not_materialised(self, running_network):
+        network, engine, runtime = running_network
+        scanner = IcmpScanner({"testnet": runtime})
+        scanner.add_to_blocklist("10.0.0.0/8")  # 16M addresses
+        assert len(scanner._blocked_addresses) == 0
+        assert scanner._blocked_ranges == [(int(ipaddress.IPv4Address("10.0.0.0")), int(ipaddress.IPv4Address("10.255.255.255")))]
+
+    def test_is_blocked_covers_addresses_and_prefixes(self, running_network):
+        network, engine, runtime = running_network
+        scanner = IcmpScanner({"testnet": runtime}, blocklist=["10.0.10.0/25", "10.0.10.200"])
+        assert scanner.is_blocked("10.0.10.0")
+        assert scanner.is_blocked("10.0.10.127")
+        assert not scanner.is_blocked("10.0.10.128")
+        assert scanner.is_blocked("10.0.10.200")
+        assert not scanner.is_blocked("10.0.11.1")
+
+    def test_sweep_and_probe_agree_with_is_blocked(self, running_network):
+        network, engine, runtime = running_network
+        scanner = IcmpScanner({"testnet": runtime}, blocklist=["10.0.10.0/25"])
+        observations = scanner.sweep(["10.0.10.0/24"], engine.now)
+        assert all(not scanner.is_blocked(obs.address) for obs in observations)
+        assert scanner.probes_suppressed == 128
+        for address in ("10.0.10.5", "10.0.10.100"):
+            before = scanner.probes_suppressed
+            assert scanner.probe(address, engine.now) is None
+            assert scanner.probes_suppressed == before + 1
+
+    def test_prefix_blocklist_suppresses_whole_sweep(self, running_network):
+        network, engine, runtime = running_network
+        scanner = IcmpScanner({"testnet": runtime})
+        scanner.add_to_blocklist("10.0.0.0/8")
+        assert scanner.sweep(["10.0.10.0/24"], engine.now) == []
+        assert scanner.probes_sent == 0
+
+
+class TestTargetPlanRuntimes:
+    def make_runtime(self, name, prefix, subnet_prefix, start_engine=True):
+        network = Network(
+            name,
+            NetworkType.ACADEMIC,
+            prefix,
+            f"{name}.example.edu",
+            rngs=RngStreams(0),
+        )
+        network.add_subnet(
+            Subnet(
+                subnet_prefix,
+                SubnetRole.EDUCATION,
+                devices=[always_on_device(f"{name}-d1")],
+                policy=CarryOverPolicy(f"{name}.example.edu"),
+            )
+        )
+        engine = SimulationEngine(start=from_date(START))
+        runtime = NetworkRuntime(network, engine)
+        runtime.start(START, START)
+        engine.run_until(from_date(START) + 12 * HOUR)
+        return runtime, engine
+
+    def test_target_spanning_two_networks_attributes_each_correctly(self):
+        """Regression: one cached runtime per target credited every
+        address in a multi-network target to the first network."""
+        rt_a, engine = self.make_runtime("neta", "10.1.0.0/24", "10.1.0.0/25")
+        rt_b, _ = self.make_runtime("netb", "10.1.1.0/24", "10.1.1.0/25")
+        scanner = IcmpScanner({"neta": rt_a, "netb": rt_b})
+        # One ZMap-style target covering both networks' space.
+        observations = scanner.sweep(["10.1.0.0/23"], engine.now)
+        networks_seen = {obs.network for obs in observations}
+        assert networks_seen == {"neta", "netb"}
+        for obs in observations:
+            expected = "neta" if obs.address in rt_a.network.prefix else "netb"
+            assert obs.network == expected
+
+    def test_plan_segments_group_consecutive_runtimes(self):
+        rt_a, _ = self.make_runtime("neta", "10.1.0.0/24", "10.1.0.0/25")
+        rt_b, _ = self.make_runtime("netb", "10.1.1.0/24", "10.1.1.0/25")
+        scanner = IcmpScanner({"neta": rt_a, "netb": rt_b})
+        plan = scanner._target_plan("10.1.0.0/23")
+        assert [segment[0] for segment in plan] == [rt_a, rt_b]
+        assert sum(len(segment[1]) for segment in plan) == 512
+
+
+class TestRetryBudget:
+    def test_lost_echo_is_retried_within_budget(self, running_network):
+        from repro.netsim.faults import FaultPlan, NetworkFaultProfile
+
+        network, engine, runtime = running_network
+        runtime.fault_plan = FaultPlan(
+            default_profile=NetworkFaultProfile(icmp_loss_rate=1.0),
+            icmp_retry_budget=4,
+        )
+        try:
+            scanner = IcmpScanner({"testnet": runtime}, retries=4)
+            observations = scanner.sweep(["10.0.10.0/24"], engine.now)
+            # Total loss: the one online responder burns the whole
+            # budget (4 retries on top of the first probe), every
+            # attempt is counted lost, and no observation results.
+            assert observations == []
+            assert scanner.probes_sent == 256 + 4
+            assert scanner.retries_sent == 4
+            assert scanner.echoes_lost == 5
+        finally:
+            runtime.fault_plan = None
+
+    def test_zero_budget_never_retries(self, running_network):
+        from repro.netsim.faults import FaultPlan, NetworkFaultProfile
+
+        network, engine, runtime = running_network
+        runtime.fault_plan = FaultPlan(
+            default_profile=NetworkFaultProfile(icmp_loss_rate=1.0)
+        )
+        try:
+            scanner = IcmpScanner({"testnet": runtime})
+            assert scanner.sweep(["10.0.10.0/24"], engine.now) == []
+            assert scanner.probes_sent == 256
+            assert scanner.retries_sent == 0
+            assert scanner.echoes_lost == 1  # only the online, responding device
+        finally:
+            runtime.fault_plan = None
+
+    def test_negative_budget_rejected(self, running_network):
+        network, engine, runtime = running_network
+        with pytest.raises(ValueError):
+            IcmpScanner({"testnet": runtime}, retries=-1)
 
 
 class TestRdnsLookupEngine:

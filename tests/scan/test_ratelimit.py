@@ -34,11 +34,20 @@ class TestTokenBucket:
         assert bucket.delay_until_available(0) == pytest.approx(0.5)
         assert bucket.delay_until_available(10) == 0.0
 
-    def test_time_cannot_go_backwards(self):
+    def test_backwards_time_is_clamped_and_counted(self):
+        # Merged observation streams can replay slightly older
+        # timestamps; the bucket must not crash the scan, must not
+        # mint tokens, and must count the skew for auditing.
         bucket = TokenBucket(rate=1.0, burst=1)
-        bucket.acquire(10)
-        with pytest.raises(ValueError):
-            bucket.acquire(5)
+        assert bucket.acquire(10)
+        assert bucket.clock_skew_events == 0
+        assert not bucket.acquire(5)  # no refill from going backwards
+        assert bucket.clock_skew_events == 1
+        assert bucket.delay_until_available(5) == pytest.approx(1.0)
+        assert bucket.clock_skew_events == 2
+        # Time resumes from the high-water mark, not the skewed value.
+        assert bucket.acquire(11)
+        assert bucket.clock_skew_events == 2
 
     def test_constructor_validation(self):
         with pytest.raises(ValueError):
