@@ -1,0 +1,110 @@
+"""Observability overhead: the disabled path must be (near) free.
+
+Not a paper table — this guards the ``repro.obs`` design contract: with
+no ``--metrics-out``/``--trace`` flag every instrumented hot path runs
+against the shared :data:`~repro.obs.NULL_OBS` handle, whose registry
+hands out no-op metric singletons and whose tracer yields a no-op span.
+The same supplemental campaign is timed with observability off and on;
+the disabled run must not be measurably slower than an enabled one
+beyond noise, and a micro-benchmark pins the per-operation cost of the
+null registry itself.
+
+Wall-clock assertions are tolerant (median of several rounds, generous
+bound) so the benchmark stays meaningful on loaded CI hosts; CI fails
+the job when the disabled-path overhead regresses past the bound.
+"""
+
+import datetime as dt
+import os
+import time
+
+from repro.netsim.internet import WorldScale, build_world
+from repro.obs import NULL_OBS, Observability
+from repro.reporting import TextTable
+from repro.scan.campaign import SupplementalCampaign
+
+SEED = 42
+BENCH_DAYS = int(os.environ.get("REPRO_OBS_BENCH_DAYS", "3"))
+START = dt.date(2021, 11, 1)
+END = START + dt.timedelta(days=BENCH_DAYS)
+ROUNDS = 3
+
+#: Maximum tolerated slowdown of the disabled path relative to the
+#: enabled path.  The disabled path should win outright; 1.05 (5%)
+#: leaves head-room for scheduler noise on shared runners.
+MAX_DISABLED_OVERHEAD = 1.05
+
+
+def _timed_run(obs=None):
+    # A fresh world per round: no shared memoisation between timings.
+    world = build_world(seed=SEED, scale=WorldScale.small())
+    campaign = SupplementalCampaign(world, obs=obs)
+    started = time.perf_counter()
+    dataset = campaign.run(START, END)
+    return dataset, time.perf_counter() - started
+
+
+def _median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def test_disabled_observability_overhead(write_artifact):
+    disabled_seconds, enabled_seconds = [], []
+    baseline = None
+    for _ in range(ROUNDS):
+        dataset, seconds = _timed_run(obs=None)
+        disabled_seconds.append(seconds)
+        obs = Observability()
+        enabled_dataset, seconds = _timed_run(obs=obs)
+        enabled_seconds.append(seconds)
+        # Same world, same window: observability must never change the
+        # measurement results themselves.
+        if baseline is None:
+            baseline = dataset
+        assert list(enabled_dataset.icmp) == list(baseline.icmp)
+        assert list(enabled_dataset.rdns) == list(baseline.rdns)
+
+    disabled = _median(disabled_seconds)
+    enabled = _median(enabled_seconds)
+    ratio = disabled / enabled if enabled > 0 else 0.0
+
+    table = TextTable(
+        ["Mode", "Median seconds", "vs enabled"],
+        aligns=["<", ">", ">"],
+    )
+    table.add_row(["observability off", f"{disabled:.3f}", f"{ratio:.3f}x"])
+    table.add_row(["observability on", f"{enabled:.3f}", "1.000x"])
+    write_artifact(
+        "obs_overhead",
+        f"Observability overhead ({BENCH_DAYS}-day campaign, median of {ROUNDS})",
+        table.render(),
+    )
+
+    assert ratio <= MAX_DISABLED_OVERHEAD, (
+        f"disabled-path campaign ran {ratio:.3f}x the enabled time "
+        f"(bound {MAX_DISABLED_OVERHEAD}x); the no-op handle is no longer free"
+    )
+
+
+def test_null_registry_operations_are_cheap():
+    """A counter inc through NULL_OBS costs one lookup and a no-op call."""
+    iterations = 200_000
+
+    started = time.perf_counter()
+    for _ in range(iterations):
+        pass
+    empty_loop = time.perf_counter() - started
+
+    counter = NULL_OBS.metrics.counter("bench_total")
+    started = time.perf_counter()
+    for _ in range(iterations):
+        counter.inc()
+        NULL_OBS.metrics.counter("bench_total").labels(k="v").inc()
+    null_loop = time.perf_counter() - started
+
+    per_op = (null_loop - empty_loop) / (2 * iterations)
+    # Sub-microsecond per operation: generous enough for any host, tight
+    # enough to catch an accidental real registry behind the null handle.
+    assert per_op < 5e-6, f"null metric op costs {per_op * 1e9:.0f}ns"
+    assert NULL_OBS.metrics.snapshot()["counters"] == {}

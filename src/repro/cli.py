@@ -11,7 +11,14 @@
 * ``audit``    — grade each network's rDNS exposure (Section 8);
 * ``snapshot`` — dump one day's PTR records, OpenINTEL-style.
 
-Every command takes ``--seed`` so results are reproducible.
+(``supplemental`` is an alias for ``campaign``, matching the paper's
+name for the measurement.)
+
+Every command takes ``--seed`` so results are reproducible.  The
+global ``--metrics-out PATH`` writes a run manifest (deterministic
+metrics + spans, wall-clock under ``timings``) after the command;
+``--trace`` prints the span tree.  ``REPRO_METRICS_OUT`` is the
+environment equivalent of ``--metrics-out``.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from repro.netsim.internet import WorldScale, build_world
 from repro.netsim.spec import build_world_from_file
 from repro.netsim.network import NetworkType
 from repro.netsim.personas import BRIAN_HOSTNAME_LABELS
+from repro.obs import NULL_OBS, Observability, metrics_out_path
 from repro.reporting import TextTable
 from repro.scan import (
     CampaignCache,
@@ -102,6 +110,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings", action="store_true", help="print collection timing and cache counters"
     )
     parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a JSON run manifest (metrics, spans, run info; wall-clock "
+            "only under its 'timings' section) after the command; the "
+            "REPRO_METRICS_OUT environment variable is the fallback"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the per-stage span tree (wall seconds per stage) after the command",
+    )
+    parser.add_argument(
         "--fault-profile",
         choices=FAULT_PROFILES,
         default=None,
@@ -121,22 +144,31 @@ def build_parser() -> argparse.ArgumentParser:
     # All --start/--end windows are half-open: --end itself is not measured.
     commands.add_parser("study", help="dynamicity + leak identification (Sections 4-5)")
 
-    campaign = commands.add_parser("campaign", help="supplemental measurement (Section 6)")
-    campaign.add_argument("--start", type=_parse_date, default=dt.date(2021, 11, 1))
-    campaign.add_argument(
-        "--end", type=_parse_date, default=dt.date(2021, 11, 8), help="exclusive end date"
+    def _add_campaign_args(campaign) -> None:
+        campaign.add_argument("--start", type=_parse_date, default=dt.date(2021, 11, 1))
+        campaign.add_argument(
+            "--end", type=_parse_date, default=dt.date(2021, 11, 8), help="exclusive end date"
+        )
+        campaign.add_argument(
+            "--networks", nargs="*", default=None, help="subset of Table-4 networks"
+        )
+        campaign.add_argument("--icmp-csv", help="write raw ICMP observations here")
+        campaign.add_argument("--rdns-csv", help="write raw rDNS observations here")
+        campaign.add_argument("--save-dir", help="persist the whole dataset to this directory")
+        campaign.add_argument(
+            "--error-report",
+            action="store_true",
+            help=(
+                "print the per-day rDNS error-class breakdown (Figure 6); "
+                "printed automatically when a fault profile is active"
+            ),
+        )
+
+    _add_campaign_args(
+        commands.add_parser("campaign", help="supplemental measurement (Section 6)")
     )
-    campaign.add_argument("--networks", nargs="*", default=None, help="subset of Table-4 networks")
-    campaign.add_argument("--icmp-csv", help="write raw ICMP observations here")
-    campaign.add_argument("--rdns-csv", help="write raw rDNS observations here")
-    campaign.add_argument("--save-dir", help="persist the whole dataset to this directory")
-    campaign.add_argument(
-        "--error-report",
-        action="store_true",
-        help=(
-            "print the per-day rDNS error-class breakdown (Figure 6); "
-            "printed automatically when a fault profile is active"
-        ),
+    _add_campaign_args(
+        commands.add_parser("supplemental", help="alias for 'campaign' (the paper's name)")
     )
 
     track = commands.add_parser("track", help="follow a given name's devices (Section 7.1)")
@@ -196,6 +228,11 @@ def _fault_plan(args):
     return resolve_fault_plan(args.fault_profile, seed=args.seed)
 
 
+def _obs(args) -> Observability:
+    """The observability handle ``main`` attached (no-op otherwise)."""
+    return getattr(args, "obs", None) or NULL_OBS
+
+
 def _print_error_report(dataset, out) -> None:
     table = TextTable(
         ["Day", "Total", "NOERROR", "NXDOMAIN", "SERVFAIL", "TIMEOUT", "REFUSED"],
@@ -226,7 +263,7 @@ def cmd_study(args, out) -> int:
     config.campaign_workers = args.workers
     config.campaign_cache = _campaign_cache(args)
     config.fault_plan = _fault_plan(args)
-    study = ReproductionStudy(config)
+    study = ReproductionStudy(config, obs=_obs(args))
     report = study.dynamicity()
     print(
         f"Dynamicity ({config.dynamicity_start} .. {config.dynamicity_end}): "
@@ -256,9 +293,16 @@ def cmd_study(args, out) -> int:
 
 
 def cmd_campaign(args, out) -> int:
+    obs = _obs(args)
     world = _world(args)
     plan = _fault_plan(args)
-    campaign = SupplementalCampaign(world, networks=args.networks, fault_plan=plan)
+    obs.set_run_info(
+        world_fingerprint=world.internet.cache_token(),
+        fault_profile=plan.name if plan is not None else None,
+    )
+    campaign = SupplementalCampaign(
+        world, networks=args.networks, fault_plan=plan, obs=obs
+    )
     dataset = campaign.run(
         args.start, args.end, workers=args.workers, cache=_campaign_cache(args)
     )
@@ -306,7 +350,9 @@ def cmd_campaign(args, out) -> int:
 def cmd_track(args, out) -> int:
     world = _world(args)
     plan = _fault_plan(args)
-    campaign = SupplementalCampaign(world, networks=[args.network], fault_plan=plan)
+    campaign = SupplementalCampaign(
+        world, networks=[args.network], fault_plan=plan, obs=_obs(args)
+    )
     dataset = campaign.run(args.start, args.end)
     tracker = DeviceTracker(dataset.rdns)
     days = (args.end - args.start).days
@@ -336,7 +382,9 @@ def cmd_track(args, out) -> int:
 def cmd_heist(args, out) -> int:
     world = _world(args)
     fault_plan = _fault_plan(args)
-    campaign = SupplementalCampaign(world, networks=[args.network], fault_plan=fault_plan)
+    campaign = SupplementalCampaign(
+        world, networks=[args.network], fault_plan=fault_plan, obs=_obs(args)
+    )
     dataset = campaign.run(args.start, args.end)
     planner = HeistPlanner(dataset, args.network)
     plan = planner.plan(source=args.source, weekdays_only=True)
@@ -376,7 +424,9 @@ def cmd_snapshot(args, out) -> int:
 
 def cmd_audit(args, out) -> int:
     world = _world(args)
-    campaign = SupplementalCampaign(world, networks=args.networks, fault_plan=_fault_plan(args))
+    campaign = SupplementalCampaign(
+        world, networks=args.networks, fault_plan=_fault_plan(args), obs=_obs(args)
+    )
     dataset = campaign.run(args.start, args.end)
     reports = audit_by_network(dataset.rdns)
     table = TextTable(
@@ -407,6 +457,7 @@ _COMMANDS = {
     "study": cmd_study,
     "audit": cmd_audit,
     "campaign": cmd_campaign,
+    "supplemental": cmd_campaign,
     "track": cmd_track,
     "heist": cmd_heist,
     "snapshot": cmd_snapshot,
@@ -417,6 +468,16 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     out = out or sys.stdout
+    manifest_path = args.metrics_out or metrics_out_path()
+    if manifest_path or args.trace:
+        args.obs = Observability()
+        args.obs.set_run_info(
+            seed=args.seed,
+            # The alias maps to the same command (and the same manifest).
+            command="campaign" if args.command == "supplemental" else args.command,
+        )
+    else:
+        args.obs = None
     if args.clear_snapshot_cache:
         cache = _snapshot_cache(args) or SnapshotCache()
         removed = cache.clear()
@@ -432,12 +493,22 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             "a command is required (or --clear-snapshot-cache/--clear-campaign-cache)"
         )
     try:
-        return _COMMANDS[args.command](args, out)
+        status = _COMMANDS[args.command](args, out)
     except ValueError as error:
         # Bad user input (e.g. an empty half-open window) — report it
         # like an argument error instead of a traceback.
         print(f"{parser.prog}: error: {error}", file=sys.stderr)
         return 2
+    if args.obs is not None:
+        if args.trace:
+            rendered = args.obs.tracer.render()
+            if rendered:
+                print("\n[trace]", file=out)
+                print(rendered, file=out)
+        if manifest_path:
+            args.obs.write_manifest(manifest_path)
+            print(f"wrote run manifest to {manifest_path}", file=out)
+    return status
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from repro.core.timing import LingeringAnalysis, lingering_analysis
 from repro.netsim.faults import FaultPlan
 from repro.netsim.internet import World, WorldScale, build_world
 from repro.netsim.network import NetworkType
+from repro.obs import Observability, resolve_obs
 from repro.scan.cache import CampaignCache, SnapshotCache
 from repro.scan.campaign import CampaignMetrics, SupplementalCampaign, SupplementalDataset
 from repro.scan.snapshot import CollectionMetrics, SnapshotCollector, SnapshotSeries
@@ -91,8 +92,16 @@ class StudyConfig:
 class ReproductionStudy:
     """Lazily materialises every stage of the reproduction."""
 
-    def __init__(self, config: Optional[StudyConfig] = None, *, world: Optional[World] = None):
+    def __init__(
+        self,
+        config: Optional[StudyConfig] = None,
+        *,
+        world: Optional[World] = None,
+        obs: Optional[Observability] = None,
+    ):
         self.config = config or StudyConfig()
+        #: Observability handle shared with every stage (no-op default).
+        self.obs = resolve_obs(obs)
         self._world = world
         self._daily_series: Optional[SnapshotSeries] = None
         self._dynamicity: Optional[DynamicityReport] = None
@@ -110,27 +119,39 @@ class ReproductionStudy:
     @property
     def world(self) -> World:
         if self._world is None:
-            self._world = build_world(seed=self.config.seed, scale=self.config.scale)
+            with self.obs.span("build_world") as span:
+                self._world = build_world(seed=self.config.seed, scale=self.config.scale)
+                span.set("networks", len(self._world.internet))
+            self.obs.set_run_info(
+                seed=self.config.seed,
+                world_fingerprint=self._world.internet.cache_token(),
+            )
         return self._world
 
     def daily_series(self) -> SnapshotSeries:
         """Daily snapshots over the dynamicity window (OpenINTEL-style)."""
         if self._daily_series is None:
-            collector = SnapshotCollector.openintel_style(self.world.internet)
-            self._daily_series = collector.collect(
-                self.config.dynamicity_start,
-                self.config.dynamicity_end,
-                workers=self.config.snapshot_workers,
-                cache=self.config.snapshot_cache,
-            )
-            self.collection_metrics = collector.last_metrics
+            with self.obs.span("daily_series"):
+                collector = SnapshotCollector.openintel_style(
+                    self.world.internet, obs=self.obs
+                )
+                self._daily_series = collector.collect(
+                    self.config.dynamicity_start,
+                    self.config.dynamicity_end,
+                    workers=self.config.snapshot_workers,
+                    cache=self.config.snapshot_cache,
+                )
+                self.collection_metrics = collector.last_metrics
         return self._daily_series
 
     def dynamicity(self) -> DynamicityReport:
         """Section 4: flag dynamic /24s."""
         if self._dynamicity is None:
-            analyzer = DynamicityAnalyzer(self.config.dynamicity_thresholds)
-            self._dynamicity = analyzer.analyze(self.daily_series())
+            series = self.daily_series()
+            with self.obs.span("dynamicity") as span:
+                analyzer = DynamicityAnalyzer(self.config.dynamicity_thresholds)
+                self._dynamicity = analyzer.analyze(series)
+                span.set("dynamic_prefixes", len(self._dynamicity.dynamic_prefixes()))
         return self._dynamicity
 
     def announced_prefix_map(self) -> AnnouncedPrefixMap:
@@ -148,19 +169,21 @@ class ReproductionStudy:
         if self._leaks is None:
             series = self.daily_series()
             dynamic = set(self.dynamicity().dynamic_prefixes())
-            identifier = LeakIdentifier(GivenNameMatcher(), self.config.leak_thresholds)
-            sample_days = series.days[-self.config.leak_sample_days:]
+            with self.obs.span("leaks") as span:
+                identifier = LeakIdentifier(GivenNameMatcher(), self.config.leak_thresholds)
+                sample_days = series.days[-self.config.leak_sample_days:]
 
-            def all_records():
-                seen = set()
-                for day in sample_days:
-                    for address, hostname in series.records_on(day):
-                        key = (address, hostname)
-                        if key not in seen:
-                            seen.add(key)
-                            yield key
+                def all_records():
+                    seen = set()
+                    for day in sample_days:
+                        for address, hostname in series.records_on(day):
+                            key = (address, hostname)
+                            if key not in seen:
+                                seen.add(key)
+                                yield key
 
-            self._leaks = identifier.identify(all_records(), dynamic)
+                self._leaks = identifier.identify(all_records(), dynamic)
+                span.set("identified_networks", len(self._leaks.identified))
         return self._leaks
 
     def type_breakdown(self) -> Dict[NetworkType, float]:
@@ -171,26 +194,38 @@ class ReproductionStudy:
     def supplemental(self) -> SupplementalDataset:
         """Section 6.1: run the supplemental campaign."""
         if self._supplemental is None:
-            if self.config.fault_plan is not None:
-                campaign = SupplementalCampaign(
-                    self.world, fault_plan=self.config.fault_plan
+            world = self.world
+            with self.obs.span("supplemental"):
+                if self.config.fault_plan is not None:
+                    campaign = SupplementalCampaign(
+                        world, fault_plan=self.config.fault_plan, obs=self.obs
+                    )
+                else:
+                    # No explicit plan: the campaign consults the
+                    # REPRO_FAULT_PROFILE environment variable itself.
+                    campaign = SupplementalCampaign(world, obs=self.obs)
+                self.obs.set_run_info(
+                    fault_profile=(
+                        campaign.fault_plan.name
+                        if campaign.fault_plan is not None
+                        else None
+                    )
                 )
-            else:
-                # No explicit plan: the campaign consults the
-                # REPRO_FAULT_PROFILE environment variable itself.
-                campaign = SupplementalCampaign(self.world)
-            self._supplemental = campaign.run(
-                self.config.supplemental_start,
-                self.config.supplemental_end,
-                workers=self.config.campaign_workers,
-                cache=self.config.campaign_cache,
-            )
-            self.campaign_metrics = campaign.last_metrics
+                self._supplemental = campaign.run(
+                    self.config.supplemental_start,
+                    self.config.supplemental_end,
+                    workers=self.config.campaign_workers,
+                    cache=self.config.campaign_cache,
+                )
+                self.campaign_metrics = campaign.last_metrics
         return self._supplemental
 
     def groups(self) -> List[ActivityGroup]:
         if self._groups is None:
-            self._groups = self._group_builder.build(self.supplemental())
+            dataset = self.supplemental()
+            with self.obs.span("groups") as span:
+                self._groups = self._group_builder.build(dataset)
+                span.set("groups", len(self._groups))
         return self._groups
 
     def funnel(self) -> GroupFunnel:
@@ -202,4 +237,8 @@ class ReproductionStudy:
 
     def lingering(self) -> LingeringAnalysis:
         """Figure 7."""
-        return lingering_analysis(self.usable_groups())
+        groups = self.usable_groups()
+        with self.obs.span("lingering") as span:
+            analysis = lingering_analysis(groups)
+            span.set("samples", len(analysis.minutes))
+        return analysis

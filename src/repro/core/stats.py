@@ -26,18 +26,30 @@ from repro.core.timing import LingeringAnalysis
 
 @dataclass(frozen=True)
 class Interval:
-    """A point estimate with a confidence interval."""
+    """A point estimate with a confidence interval.
+
+    ``degenerate`` flags intervals the data could not support: an
+    empty sample (NaN estimate, vacuous bounds) or a single-element
+    sample (zero-width interval).  Callers that previously had to
+    guard against ``ValueError`` on thin fault-injected samples can
+    now branch on the flag instead.
+    """
 
     estimate: float
     low: float
     high: float
     confidence: float
+    degenerate: bool = False
 
     def __contains__(self, value: object) -> bool:
         return isinstance(value, (int, float)) and self.low <= value <= self.high
 
     def __str__(self) -> str:
-        return f"{self.estimate:.3f} [{self.low:.3f}, {self.high:.3f}] @ {self.confidence:.0%}"
+        suffix = " (degenerate)" if self.degenerate else ""
+        return (
+            f"{self.estimate:.3f} [{self.low:.3f}, {self.high:.3f}]"
+            f" @ {self.confidence:.0%}{suffix}"
+        )
 
 
 def bootstrap_ci(
@@ -48,12 +60,23 @@ def bootstrap_ci(
     resamples: int = 2000,
     seed: int = 0,
 ) -> Interval:
-    """Percentile-bootstrap CI for ``statistic`` over ``sample``."""
+    """Percentile-bootstrap CI for ``statistic`` over ``sample``.
+
+    Empty and single-element samples yield a *degenerate* interval
+    (NaN estimate, or a zero-width interval at the lone value) rather
+    than raising: a harsh fault profile can legitimately shrink a
+    per-network lingering sample to nothing, and the summary tables
+    should render that as "no data", not crash.
+    """
     if not 0 < confidence < 1:
         raise ValueError("confidence must be in (0, 1)")
     values = np.asarray(list(sample), dtype=float)
     if values.size == 0:
-        raise ValueError("empty sample")
+        nan = float("nan")
+        return Interval(nan, nan, nan, confidence, degenerate=True)
+    if values.size == 1:
+        only = float(values[0])
+        return Interval(only, only, only, confidence, degenerate=True)
     rng = np.random.default_rng(seed)
     estimates = np.empty(resamples)
     for index in range(resamples):
@@ -64,9 +87,18 @@ def bootstrap_ci(
 
 
 def proportion_ci(successes: int, total: int, *, confidence: float = 0.95) -> Interval:
-    """Wilson score interval for a proportion."""
-    if total <= 0:
-        raise ValueError("total must be positive")
+    """Wilson score interval for a proportion.
+
+    ``total == 0`` yields the vacuous degenerate interval (NaN
+    estimate, bounds [0, 1]): with no trials, every proportion is
+    consistent with the data.
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if total == 0:
+        if successes != 0:
+            raise ValueError("successes must be within [0, total]")
+        return Interval(float("nan"), 0.0, 1.0, confidence, degenerate=True)
     if not 0 <= successes <= total:
         raise ValueError("successes must be within [0, total]")
     z = float(sps.norm.ppf(1 - (1 - confidence) / 2))
@@ -114,11 +146,12 @@ def lingering_summary(
     """The headline numbers with uncertainty attached.
 
     Returns intervals for the median lingering time and for the
-    fraction of records reverting within ``within_minutes``.
+    fraction of records reverting within ``within_minutes``.  An empty
+    analysis (no usable groups — e.g. under a harsh fault profile)
+    yields *degenerate* intervals (flagged, NaN estimates) instead of
+    raising, so report code renders "no data" rather than crashing.
     """
     values = analysis.by_network.get(network, []) if network else analysis.minutes
-    if not values:
-        raise ValueError("no lingering data")
     within = sum(1 for value in values if value <= within_minutes)
     return {
         "median_minutes": bootstrap_ci(values, np.median, confidence=confidence, seed=seed),

@@ -124,6 +124,13 @@ class StubResolver:
         self._msg_ids = itertools.count(1)
         self.queries_sent = 0
         self.timeouts_seen = 0
+        #: Completed lookups per :class:`ResolutionStatus`.
+        self.status_counts: Dict[ResolutionStatus, int] = {}
+        #: Wire attempts beyond the first, summed over all lookups.
+        self.retries_sent = 0
+        #: Backoff waits taken and their total (simulated) duration.
+        self.backoff_waits = 0
+        self.backoff_seconds_total = 0.0
         #: Per-server health, keyed by server name.
         self.server_health: Dict[str, ServerHealth] = {}
 
@@ -174,7 +181,9 @@ class StubResolver:
         """
         server = self.server_for(name)
         if server is None:
-            return ResolutionResult(name, ResolutionStatus.NO_SERVER)
+            status = ResolutionStatus.NO_SERVER
+            self.status_counts[status] = self.status_counts.get(status, 0) + 1
+            return ResolutionResult(name, status)
         attempts = 0
         elapsed = 0.0
         timeouts = 0
@@ -192,8 +201,13 @@ class StubResolver:
             if response is not None:
                 break
             timeouts += 1
-            elapsed += self.timeout_seconds + self.backoff_delay(name, attempts)
+            delay = self.backoff_delay(name, attempts)
+            if delay > 0:
+                self.backoff_waits += 1
+                self.backoff_seconds_total += delay
+            elapsed += self.timeout_seconds + delay
         self.timeouts_seen += timeouts
+        self.retries_sent += attempts - 1
         if response is None:
             status = ResolutionStatus.TIMEOUT
         elif response.rcode is Rcode.NXDOMAIN:
@@ -207,6 +221,7 @@ class StubResolver:
             status = ResolutionStatus.REFUSED
         else:
             status = ResolutionStatus.SERVFAIL
+        self.status_counts[status] = self.status_counts.get(status, 0) + 1
         health = self.server_health.get(server.name)
         if health is None:
             health = self.server_health[server.name] = ServerHealth()
@@ -232,3 +247,27 @@ class StubResolver:
 
     def resolve_many(self, addresses: List[IPAddress]) -> List[ResolutionResult]:
         return [self.resolve_ptr(address) for address in addresses]
+
+    def export_metrics(self, registry) -> None:
+        """Publish query/rcode/retry/backoff totals into a registry.
+
+        Counters are deterministic functions of the queries resolved,
+        so snapshots from per-network resolvers merge bit-identically
+        regardless of process split.  Per-server health lands as
+        labelled children of the ``resolver_server_*`` counters.
+        """
+        registry.counter("resolver_queries_total").inc(self.queries_sent)
+        registry.counter("resolver_timeouts_total").inc(self.timeouts_seen)
+        registry.counter("resolver_retries_total").inc(self.retries_sent)
+        registry.counter("resolver_backoff_waits_total").inc(self.backoff_waits)
+        registry.counter("resolver_backoff_seconds_total").inc(self.backoff_seconds_total)
+        rcodes = registry.counter("resolver_rcode_total")
+        for status in sorted(self.status_counts, key=lambda s: s.value):
+            rcodes.labels(rcode=status.value).inc(self.status_counts[status])
+            rcodes.inc(self.status_counts[status])
+        server_queries = registry.counter("resolver_server_queries_total")
+        server_timeouts = registry.counter("resolver_server_timeouts_total")
+        for name in sorted(self.server_health):
+            health = self.server_health[name]
+            server_queries.labels(server=name).inc(health.queries)
+            server_timeouts.labels(server=name).inc(health.timeouts)

@@ -77,6 +77,9 @@ class AuthoritativeServer:
         self._zones: Dict[DomainName, ReverseZone] = {}
         self.queries_handled = 0
         self.failures_injected = 0
+        #: Responses sent per rcode name (lower-case); injected
+        #: timeouts count under the pseudo-rcode ``"timeout"``.
+        self.rcode_counts: Dict[str, int] = {}
 
     def add_zone(self, zone: ReverseZone) -> None:
         if zone.origin in self._zones:
@@ -114,6 +117,19 @@ class AuthoritativeServer:
         :class:`FailureModel` (sequential draws) still applies when no
         plan fires.
         """
+        response = self._handle(query, at=at, network=network, faults=faults)
+        rcode_key = "timeout" if response is None else response.rcode.name.lower()
+        self.rcode_counts[rcode_key] = self.rcode_counts.get(rcode_key, 0) + 1
+        return response
+
+    def _handle(
+        self,
+        query: DnsMessage,
+        *,
+        at: Optional[int] = None,
+        network: str = "",
+        faults=None,
+    ) -> Optional[DnsMessage]:
         self.queries_handled += 1
         if faults is not None:
             key = str(query.questions[0].name) if query.questions else ""
@@ -153,5 +169,44 @@ class AuthoritativeServer:
         """Convenience: handle a PTR query for ``name``."""
         return self.handle(DnsMessage.query(name, RecordType.PTR))
 
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Flat counter values, for delta accounting across a run.
+
+        In a serial campaign successive networks share one world (and
+        its servers), so absolute counters mix networks; callers
+        snapshot before/after and publish the difference (see
+        :func:`diff_metrics_snapshots`).
+        """
+        snapshot = {
+            "queries_handled": self.queries_handled,
+            "failures_injected": self.failures_injected,
+        }
+        for rcode, count in self.rcode_counts.items():
+            snapshot[f"rcode_{rcode}"] = count
+        return snapshot
+
+    def export_metrics(self, registry, *, snapshot: Optional[Dict[str, int]] = None) -> None:
+        """Publish this server's counters into a metrics registry.
+
+        ``snapshot`` (from :meth:`metrics_snapshot`) restricts the
+        export to activity since that snapshot was taken.
+        """
+        current = self.metrics_snapshot()
+        delta = diff_metrics_snapshots(current, snapshot or {})
+        registry.counter("dns_server_queries_total").inc(delta.get("queries_handled", 0))
+        registry.counter("dns_server_failures_injected_total").inc(
+            delta.get("failures_injected", 0)
+        )
+        rcodes = registry.counter("dns_server_rcode_total")
+        for key in sorted(delta):
+            if key.startswith("rcode_") and delta[key]:
+                rcodes.labels(rcode=key[len("rcode_"):]).inc(delta[key])
+                rcodes.inc(delta[key])
+
     def __repr__(self) -> str:
         return f"AuthoritativeServer({self.name!r}, zones={len(self._zones)})"
+
+
+def diff_metrics_snapshots(current: Dict[str, int], baseline: Dict[str, int]) -> Dict[str, int]:
+    """``current - baseline`` per key (missing baseline keys read as 0)."""
+    return {key: value - baseline.get(key, 0) for key, value in current.items()}

@@ -1,0 +1,310 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+Modelled on the Prometheus client data model (the lingua franca of the
+measurement platforms this reproduction imitates) but stripped to what
+a deterministic simulation needs:
+
+* :class:`Counter` — monotonically increasing totals, with labelled
+  children (``counter.labels(rcode="nxdomain").inc()``);
+* :class:`Gauge` — point-in-time values with high-water-mark merge
+  semantics (``set_max``), suited to queue depths;
+* :class:`Histogram` — fixed-bound bucket counts (attempt counts,
+  lingering minutes).
+
+A :class:`MetricsRegistry` names and owns the metrics.  Its
+:meth:`~MetricsRegistry.snapshot` output is a plain, JSON-serialisable
+dict with **sorted** keys, and :meth:`~MetricsRegistry.merge_snapshot`
+folds one snapshot into another: counters and histogram buckets add,
+gauges take the maximum.  Merging is associative and commutative (the
+per-network campaign registries can be combined in any grouping and
+still produce identical totals — pinned by ``tests/obs``), which is
+what lets child-process registries be merged deterministically into
+the parent, same discipline as the campaign's timestamp merge.
+
+The disabled path is a first-class citizen: :data:`NULL_REGISTRY`
+hands out shared no-op singletons whose ``inc``/``set``/``observe``
+bodies are empty, so instrumenting a hot path costs one attribute
+lookup and an empty call when observability is off.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default histogram bounds: small-count scale (attempts, retries).
+DEFAULT_BUCKETS: Tuple[Number, ...] = (1, 2, 3, 5, 8, 13, 21)
+
+
+def _label_key(labels: Dict[str, object]) -> str:
+    """Canonical child key: ``k1=v1,k2=v2`` with sorted label names."""
+    return ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+
+
+class Counter:
+    """A monotonically increasing total, with optional labelled children."""
+
+    kind = "counter"
+    __slots__ = ("name", "_value", "_children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Number = 0
+        self._children: Dict[str, "Counter"] = {}
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc({amount}))")
+        self._value += amount
+
+    def labels(self, **labels) -> "Counter":
+        """The child counter for one label combination (created on use).
+
+        Children accumulate independently of the parent: callers that
+        want a total across labels should also ``inc()`` the parent, or
+        read :meth:`snapshot`'s per-label values and sum.
+        """
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = Counter(self.name)
+        return child
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def snapshot(self) -> dict:
+        payload: dict = {"value": self._value}
+        if self._children:
+            payload["labels"] = {
+                key: self._children[key]._value for key in sorted(self._children)
+            }
+        return payload
+
+    def merge_snapshot(self, payload: dict) -> None:
+        self._value += payload.get("value", 0)
+        for key, value in payload.get("labels", {}).items():
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = Counter(self.name)
+            child._value += value
+
+
+class Gauge:
+    """A point-in-time value.  Merges by maximum (high-water mark)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self._value = value
+
+    def set_max(self, value: Number) -> None:
+        """Raise the gauge to ``value`` if it is higher (high-water)."""
+        if value > self._value:
+            self._value = value
+
+    @property
+    def value(self) -> Number:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"value": self._value}
+
+    def merge_snapshot(self, payload: dict) -> None:
+        self.set_max(payload.get("value", 0))
+
+
+class Histogram:
+    """Fixed-bound bucket counts plus a running count and sum.
+
+    ``bounds`` are inclusive upper bucket edges; one implicit overflow
+    bucket (``+Inf``) catches the rest.  Merging adds bucket counts,
+    counts and sums — associative, and bit-stable for the integral
+    observations the pipeline records.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "bounds", "_bucket_counts", "_count", "_sum")
+
+    def __init__(self, name: str, bounds: Iterable[Number] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._bucket_counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum: Number = 0
+
+    def observe(self, value: Number) -> None:
+        self._bucket_counts[bisect_left(self.bounds, value)] += 1
+        self._count += 1
+        self._sum += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> Number:
+        return self._sum
+
+    def snapshot(self) -> dict:
+        buckets = {
+            f"le_{bound}": count
+            for bound, count in zip(self.bounds, self._bucket_counts)
+        }
+        buckets["le_inf"] = self._bucket_counts[-1]
+        return {"buckets": buckets, "count": self._count, "sum": self._sum}
+
+    def merge_snapshot(self, payload: dict) -> None:
+        theirs = payload.get("buckets", {})
+        mine = self.snapshot()["buckets"]
+        if set(theirs) != set(mine):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge mismatched bucket bounds"
+            )
+        for index, bound in enumerate(self.bounds):
+            self._bucket_counts[index] += theirs[f"le_{bound}"]
+        self._bucket_counts[-1] += theirs["le_inf"]
+        self._count += payload.get("count", 0)
+        self._sum += payload.get("sum", 0)
+
+
+class _NullMetric:
+    """Shared no-op stand-in for every metric kind when disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def set_max(self, value: Number) -> None:
+        pass
+
+    def observe(self, value: Number) -> None:
+        pass
+
+    def labels(self, **labels) -> "_NullMetric":
+        return self
+
+    @property
+    def value(self) -> Number:
+        return 0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    @property
+    def sum(self) -> Number:
+        return 0
+
+
+_NULL_METRIC = _NullMetric()
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Names and owns a family of metrics; snapshots deterministically."""
+
+    __slots__ = ("enabled", "_metrics")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: Dict[str, object] = {}
+
+    # -- creation / lookup -----------------------------------------------------
+
+    def _get(self, name: str, kind: str, factory):
+        if not self.enabled:
+            return _NULL_METRIC
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif metric.kind != kind:
+            raise TypeError(
+                f"metric {name!r} already registered as a {metric.kind}, "
+                f"requested as a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, "counter", lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, "gauge", lambda: Gauge(name))
+
+    def histogram(self, name: str, bounds: Iterable[Number] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, "histogram", lambda: Histogram(name, bounds))
+
+    # -- reading ---------------------------------------------------------------
+
+    def value(self, name: str, labels: Optional[Dict[str, object]] = None) -> Number:
+        """Convenience read for tests and reports; 0 for unknown names."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0
+        if labels:
+            snapshot = metric.snapshot()
+            return snapshot.get("labels", {}).get(_label_key(labels), 0)
+        return metric.value if metric.kind != "histogram" else metric.count
+
+    def names(self):
+        return sorted(self._metrics)
+
+    # -- serialisation / merge ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A deterministic JSON-serialisable dump (sorted names, kinds).
+
+        Histogram snapshots gain a ``bounds`` list so a merge target
+        can be reconstructed from the payload alone.
+        """
+        payload: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            entry = metric.snapshot()
+            if metric.kind == "histogram":
+                entry["bounds"] = list(metric.bounds)
+            payload[metric.kind + "s"][name] = entry
+        return payload
+
+    def merge_snapshot(self, payload: dict) -> None:
+        """Fold a :meth:`snapshot` payload in: add counters/histograms,
+        max gauges.  A no-op on a disabled registry."""
+        if not self.enabled:
+            return
+        for name, entry in payload.get("counters", {}).items():
+            self.counter(name).merge_snapshot(entry)
+        for name, entry in payload.get("gauges", {}).items():
+            self.gauge(name).merge_snapshot(entry)
+        for name, entry in payload.get("histograms", {}).items():
+            bounds = entry.get("bounds", DEFAULT_BUCKETS)
+            self.histogram(name, bounds).merge_snapshot(entry)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_snapshot(other.snapshot())
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Merge snapshot payloads (in the given order) into one payload."""
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged.snapshot()
+
+
+#: The shared disabled registry; every metric it returns is a no-op.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

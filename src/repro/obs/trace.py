@@ -1,0 +1,166 @@
+"""Span-based stage tracing for the measurement pipeline.
+
+A :class:`Tracer` records a tree of named spans — one per pipeline
+stage (``with tracer.span("dynamicity", network=...)``) — mirroring
+how production measurement platforms attribute time to stages.
+
+Determinism discipline: a span's *structure* (name, labels, nesting
+order) and its *attributes* (counts the stage chose to record via
+:meth:`SpanRecord.set`) are pure functions of the work done, so they
+serialise into the deterministic part of the run manifest.  Wall-clock
+durations are measured too, but surface only through
+:meth:`Tracer.timings_payload`, which the manifest files under its
+explicitly marked ``timings`` section.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+
+class SpanRecord:
+    """One traced stage: name, labels, deterministic attributes, children."""
+
+    __slots__ = ("name", "labels", "attributes", "children", "wall_seconds")
+
+    def __init__(self, name: str, labels: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.attributes: Dict[str, object] = {}
+        self.children: List["SpanRecord"] = []
+        self.wall_seconds: float = 0.0
+
+    def set(self, key: str, value) -> None:
+        """Attach one deterministic attribute (a count, a flag)."""
+        self.attributes[key] = value
+
+    @property
+    def path(self) -> str:
+        """This span's display path component, labels included."""
+        if not self.labels:
+            return self.name
+        rendered = ",".join(f"{key}={self.labels[key]}" for key in sorted(self.labels))
+        return f"{self.name}[{rendered}]"
+
+    def payload(self) -> dict:
+        """Deterministic serialisation: no wall-clock anywhere."""
+        entry: dict = {"name": self.name}
+        if self.labels:
+            entry["labels"] = {key: self.labels[key] for key in sorted(self.labels)}
+        if self.attributes:
+            entry["attributes"] = {
+                key: self.attributes[key] for key in sorted(self.attributes)
+            }
+        if self.children:
+            entry["children"] = [child.payload() for child in self.children]
+        return entry
+
+
+class _NullSpan:
+    """No-op span the disabled tracer yields."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records spans into a tree; nesting follows the call stack."""
+
+    __slots__ = ("enabled", "roots", "_stack")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.roots: List[SpanRecord] = []
+        self._stack: List[SpanRecord] = []
+
+    @contextmanager
+    def span(self, name: str, **labels):
+        """Trace one stage; yields the :class:`SpanRecord` for attributes."""
+        if not self.enabled:
+            yield _NULL_SPAN
+            return
+        record = self._attach(SpanRecord(name, labels))
+        self._stack.append(record)
+        started = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.wall_seconds = time.perf_counter() - started
+            self._stack.pop()
+
+    def add_span(
+        self,
+        name: str,
+        *,
+        labels: Optional[Dict[str, object]] = None,
+        attributes: Optional[Dict[str, object]] = None,
+        seconds: float = 0.0,
+    ) -> Optional[SpanRecord]:
+        """Record an already-completed stage (e.g. work a child process did)."""
+        if not self.enabled:
+            return None
+        record = self._attach(SpanRecord(name, labels))
+        record.attributes.update(attributes or {})
+        record.wall_seconds = seconds
+        return record
+
+    def _attach(self, record: SpanRecord) -> SpanRecord:
+        if self._stack:
+            self._stack[-1].children.append(record)
+        else:
+            self.roots.append(record)
+        return record
+
+    # -- serialisation ---------------------------------------------------------
+
+    def spans_payload(self) -> List[dict]:
+        """The deterministic span tree (structure + attributes only)."""
+        return [root.payload() for root in self.roots]
+
+    def timings_payload(self) -> Dict[str, float]:
+        """Wall-clock seconds per span path (``a/b[c=d]`` keys)."""
+        timings: Dict[str, float] = {}
+
+        def walk(record: SpanRecord, prefix: str) -> None:
+            path = f"{prefix}/{record.path}" if prefix else record.path
+            # Duplicate paths (same stage re-entered) accumulate.
+            timings[path] = timings.get(path, 0.0) + record.wall_seconds
+            for child in record.children:
+                walk(child, path)
+
+        for root in self.roots:
+            walk(root, "")
+        return timings
+
+    def render(self) -> str:
+        """A human-readable tree for ``--trace`` output."""
+        lines: List[str] = []
+
+        def walk(record: SpanRecord, depth: int) -> None:
+            attrs = ""
+            if record.attributes:
+                rendered = ", ".join(
+                    f"{key}={record.attributes[key]}"
+                    for key in sorted(record.attributes)
+                )
+                attrs = f"  ({rendered})"
+            lines.append(
+                f"{'  ' * depth}{record.path}  {record.wall_seconds:.3f}s{attrs}"
+            )
+            for child in record.children:
+                walk(child, depth + 1)
+
+        for root in self.roots:
+            walk(root, 0)
+        return "\n".join(lines)
+
+
+#: The shared disabled tracer.
+NULL_TRACER = Tracer(enabled=False)

@@ -1,10 +1,25 @@
-"""ASCII renderers for figure-style data: bars, CDFs, time series."""
+"""ASCII renderers for figure-style data: bars, CDFs, time series.
+
+Renderers never raise on empty or degenerate input: an empty mapping
+(or series) renders the ``(no data)`` placeholder, and bar scales are
+clamped so an all-zero or all-equal series produces flat bars instead
+of a division error.  Fault-injected runs routinely produce empty
+per-network slices, and the report must survive them.
+"""
 
 from __future__ import annotations
 
 from typing import List, Mapping, Sequence, Tuple
 
 _BAR = "#"
+
+#: Placeholder for renders with nothing to show.
+NO_DATA = "(no data)"
+
+
+def _clamp_peak(peak: float) -> float:
+    """A safe bar-scale divisor: all-zero/negative peaks clamp to 1."""
+    return peak if peak > 0 else 1.0
 
 
 def render_bar_chart(
@@ -23,8 +38,8 @@ def render_bar_chart(
     if sort_desc:
         items.sort(key=lambda pair: pair[1], reverse=True)
     if not items:
-        return "(empty)"
-    peak = max(value for _, value in items) or 1.0
+        return NO_DATA
+    peak = _clamp_peak(max(value for _, value in items))
     label_width = max(len(str(key)) for key, _ in items)
     lines = []
     if log_note:
@@ -43,6 +58,8 @@ def render_cdf(
     checkpoints: Sequence[float] = (5, 15, 30, 60, 120),
 ) -> str:
     """Tabulated CDF values at checkpoint x-values, one row per series."""
+    if not points_by_series:
+        return NO_DATA
     header = "series".ljust(16) + "".join(f"{f'<={int(cp)}m':>9}" for cp in checkpoints)
     lines = [header, "-" * len(header)]
     for name, points in points_by_series.items():
@@ -63,19 +80,29 @@ def render_time_series(
     series_by_name: Mapping[str, Mapping[object, float]],
     *,
     samples: int = 26,
+    width: int = 40,
 ) -> str:
-    """Downsampled rows of (x, value) per series for longitudinal data."""
+    """Downsampled rows of (x, value) per series for longitudinal data.
+
+    Bars scale relative to each series' peak value (``width`` at the
+    peak), so large-magnitude series no longer overflow the terminal
+    the way the old fixed ``value / 4`` scale did; an all-equal series
+    renders full-width bars and an all-zero one renders none.
+    """
+    if not series_by_name:
+        return NO_DATA
     lines = []
     for name, series in series_by_name.items():
         keys = sorted(series)
         if not keys:
-            lines.append(f"{name}: (empty)")
+            lines.append(f"{name}: {NO_DATA}")
             continue
+        peak = _clamp_peak(max(series[key] for key in keys))
         step = max(1, len(keys) // samples)
         sampled = keys[::step]
         lines.append(f"{name}:")
         for key in sampled:
             value = series[key]
-            bar = _BAR * int(round(value / 4))
+            bar = _BAR * max(0, int(round(width * value / peak)))
             lines.append(f"  {key} {value:6.1f} {bar}".rstrip())
     return "\n".join(lines)

@@ -68,6 +68,16 @@ class _JsonFileCache:
 
     def __init__(self, root: pathlib.Path):
         self.root = root
+        #: Traffic counters for the observability layer.  They describe
+        #: *this process's* cache usage (hits/misses/stores) plus the
+        #: corrupt entries it repaired, so they belong in the run
+        #: manifest's ``timings.execution`` section — equivalent runs
+        #: legitimately differ here (a warm run hits, a cold run
+        #: misses).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt_entries = 0
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
@@ -75,22 +85,33 @@ class _JsonFileCache:
     # -- access --------------------------------------------------------------
 
     def load(self, key: str) -> Optional[dict]:
-        """The stored payload, or ``None`` on a miss or corrupt entry."""
+        """The stored payload, or ``None`` on a miss or corrupt entry.
+
+        A corrupt entry (torn write, disk error, truncated JSON) is
+        *repaired*, not just skipped: the file is deleted and counted
+        in :attr:`corrupt_entries`, so the next :meth:`store` rewrites
+        it cleanly.  Leaving it in place meant every later run paid the
+        decode failure and re-fetched forever.
+        """
         path = self.path_for(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
-                return json.load(handle)
+                payload = json.load(handle)
         except FileNotFoundError:
+            self.misses += 1
             return None
         except (json.JSONDecodeError, OSError):
-            # A torn or unreadable entry is a miss; drop it so the next
-            # store rewrites it cleanly.
+            self.corrupt_entries += 1
+            self.misses += 1
             self.invalidate(key)
             return None
+        self.hits += 1
+        return payload
 
     def store(self, key: str, payload: dict) -> pathlib.Path:
         """Atomically persist a payload (write-temp-then-rename)."""
         self.root.mkdir(parents=True, exist_ok=True)
+        self.stores += 1
         path = self.path_for(key)
         handle = tempfile.NamedTemporaryFile(
             "w", dir=self.root, suffix=".tmp", delete=False, encoding="utf-8"
@@ -120,16 +141,22 @@ class _JsonFileCache:
             return False
 
     def clear(self) -> int:
-        """Drop every entry; returns how many were removed."""
+        """Drop every entry; returns how many files were removed.
+
+        Also sweeps orphaned ``*.tmp`` files left behind by writers
+        that crashed between creating the temp file and the atomic
+        rename — the old ``*.json``-only glob leaked them forever.
+        """
         removed = 0
         if not self.root.is_dir():
             return removed
-        for path in self.root.glob("*.json"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*.json", "*.tmp"):
+            for path in self.root.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
     def entries(self) -> List[str]:
@@ -137,6 +164,39 @@ class _JsonFileCache:
         if not self.root.is_dir():
             return []
         return sorted(path.stem for path in self.root.glob("*.json"))
+
+    # -- observability -------------------------------------------------------
+
+    def execution_snapshot(self) -> dict:
+        """Traffic counters for the manifest's ``timings.execution``
+        section (hit/miss/store/corrupt counts vary run to run by
+        design, so they are kept out of the deterministic metrics)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt_entries": self.corrupt_entries,
+        }
+
+    def export_metrics(self, obs, *, section: str, baseline: Optional[dict] = None) -> None:
+        """Record this cache's traffic under ``timings.execution``.
+
+        ``baseline`` (an earlier :meth:`execution_snapshot`) restricts
+        the export to traffic since that snapshot, so repeated
+        collections against one cache don't double count.
+        ``cache_corrupt_entries`` is the headline counter: non-zero
+        means this run found and repaired torn entries.
+        """
+        snapshot = self.execution_snapshot()
+        baseline = baseline or {}
+        obs.record_execution(
+            section,
+            accumulate=True,
+            **{
+                f"cache_{key}": value - baseline.get(key, 0)
+                for key, value in snapshot.items()
+            },
+        )
 
 
 class SnapshotCache(_JsonFileCache):

@@ -39,6 +39,7 @@ from repro.netsim.finegrained import build_runtimes
 from repro.netsim.internet import World
 from repro.netsim.network import NetworkType
 from repro.netsim.simtime import DAY, HOUR, date_of, from_date
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
 from repro.scan.icmp import IcmpScanner
 from repro.scan.observations import IcmpObservation, RdnsObservation
 from repro.scan.ratelimit import TokenBucket
@@ -50,7 +51,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scan.cache import CampaignCache
 
 #: Bump when the dataset payload schema changes; old cache entries miss.
-DATASET_FORMAT_VERSION = 1
+#: v2 added the ``metrics`` field (the merged per-network registry
+#: snapshot) so cache-replay runs reproduce the deterministic counters.
+DATASET_FORMAT_VERSION = 2
 
 #: The paper's nine selected networks, in Table 4 order.
 SUPPLEMENTAL_NETWORKS = [
@@ -286,6 +289,10 @@ class NetworkCampaignResult:
     #: Instrument counters (probe/lookup/retry/loss totals); empty on
     #: clean runs for backwards-compatible equality.
     counters: Dict[str, int] = field(default_factory=dict)
+    #: This network's :meth:`repro.obs.metrics.MetricsRegistry.snapshot`
+    #: — deterministic, picklable, merged across networks in campaign
+    #: order so serial and parallel runs publish identical totals.
+    metrics: Dict = field(default_factory=dict)
 
 
 def run_network_campaign(
@@ -314,6 +321,11 @@ def run_network_campaign(
     last_day = end - dt.timedelta(days=1)
     engine = SimulationEngine(start=from_date(start))
     network = world.supplemental[name]
+    # Baseline for delta accounting: in a serial campaign successive
+    # networks share one world (and its authoritative server), so the
+    # absolute counters mix networks; the delta is this run's share and
+    # matches what a fresh forked worker would count.
+    server_baseline = network.server.metrics_snapshot()
     runtimes = build_runtimes([network], engine, fault_plan=fault_plan)
     runtimes[name].start(start, last_day)
 
@@ -361,6 +373,12 @@ def run_network_campaign(
                 rdns.rate_limit.clock_skew_events if rdns.rate_limit else 0
             ),
         }
+    registry = MetricsRegistry()
+    scanner.export_metrics(registry)
+    rdns.export_metrics(registry)
+    monitor.export_metrics(registry)
+    engine.export_metrics(registry)
+    network.server.export_metrics(registry, snapshot=server_baseline)
     return NetworkCampaignResult(
         network=name,
         icmp=monitor.icmp_observations,
@@ -369,6 +387,7 @@ def run_network_campaign(
         events_run=engine.events_run,
         seconds=time.perf_counter() - started,
         counters=counters,
+        metrics=registry.snapshot(),
     )
 
 
@@ -391,8 +410,13 @@ class SupplementalCampaign:
         rdns_rate: float = 50.0,
         blocklist: Iterable = (),
         fault_plan=_FAULTS_FROM_ENV,
+        obs=None,
     ):
         self.world = world
+        #: Optional :class:`repro.obs.Observability` handle; spans,
+        #: deterministic counters and run-shape details are recorded
+        #: there (no-op when ``None``).
+        self.obs = obs
         # Default to every supplemental-flagged network in the world
         # (for the standard world, that is the Table 4 nine, in order).
         candidates = list(networks) if networks is not None else list(world.supplemental)
@@ -458,7 +482,54 @@ class SupplementalCampaign:
         :class:`~repro.scan.cache.CampaignCache`.  Both are
         bit-identical to the serial, uncached run.  Timing and cache
         counters land in :attr:`last_metrics`.
+
+        When the campaign carries an observability handle, the run is
+        traced as a ``campaign.run`` span with one ``campaign.network``
+        child per network, the merged per-network counters land in the
+        metrics registry (replayed from the cached payload on a hit, so
+        warm manifests match cold ones), and run-shape details
+        (workers, cache traffic) are recorded under
+        ``timings.execution``.
         """
+        from repro.obs import resolve_obs
+
+        obs = resolve_obs(self.obs)
+        cache_baseline = cache.execution_snapshot() if cache is not None else None
+        with obs.span("campaign.run") as span:
+            dataset = self._run(start, end, workers=workers, cache=cache, obs=obs)
+            metrics = self.last_metrics
+            span.set("networks", metrics.networks)
+            span.set("icmp_observations", metrics.icmp_observations)
+            span.set("rdns_observations", metrics.rdns_observations)
+            # One child span per network regardless of cache outcome:
+            # the structure is deterministic, only the wall seconds
+            # (zero on a replay) land in the timings section.
+            for name in self.network_names:
+                obs.tracer.add_span(
+                    "campaign.network",
+                    labels={"network": name},
+                    seconds=metrics.per_network_seconds.get(name, 0.0),
+                )
+        obs.record_execution(
+            "campaign",
+            workers=metrics.workers,
+            effective_workers=metrics.effective_workers,
+            cache_hit=metrics.cache_hit,
+            cache_stored=metrics.cache_stored,
+        )
+        if cache is not None:
+            cache.export_metrics(obs, section="campaign", baseline=cache_baseline)
+        return dataset
+
+    def _run(
+        self,
+        start: dt.date,
+        end: dt.date,
+        *,
+        workers: int,
+        cache: Optional["CampaignCache"],
+        obs,
+    ) -> SupplementalDataset:
         if end <= start:
             raise ValueError("end must be after start (half-open [start, end) window)")
         started = time.perf_counter()
@@ -477,6 +548,7 @@ class SupplementalCampaign:
             if payload is not None and payload.get("version") == DATASET_FORMAT_VERSION:
                 decode_started = time.perf_counter()
                 dataset = SupplementalDataset.from_payload(payload)
+                obs.metrics.merge_snapshot(payload.get("metrics") or {})
                 metrics.cache_hit = True
                 metrics.icmp_observations = len(dataset.icmp)
                 metrics.rdns_observations = len(dataset.rdns)
@@ -487,6 +559,11 @@ class SupplementalCampaign:
         simulate_started = time.perf_counter()
         results = self._run_networks(start, end, workers, metrics)
         dataset = self._merge(start, end, results)
+        # Per-network registries merge in fixed campaign order, so the
+        # totals are identical whether networks ran serial or fanned
+        # out (and, via the cached copy below, on later replays).
+        merged_metrics = merge_snapshots(result.metrics for result in results)
+        obs.metrics.merge_snapshot(merged_metrics)
         metrics.simulate_seconds = time.perf_counter() - simulate_started
         metrics.icmp_observations = len(dataset.icmp)
         metrics.rdns_observations = len(dataset.rdns)
@@ -502,7 +579,9 @@ class SupplementalCampaign:
                 )
 
         if cache is not None and key is not None:
-            cache.store(key, dataset.to_payload())
+            payload = dataset.to_payload()
+            payload["metrics"] = merged_metrics
+            cache.store(key, payload)
             metrics.cache_stored = True
         metrics.total_seconds = time.perf_counter() - started
         return dataset

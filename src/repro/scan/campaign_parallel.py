@@ -106,8 +106,16 @@ def run_networks(
         (name, start.isoformat(), end.isoformat()) for name in campaign.network_names
     ]
     max_workers = min(workers, len(tasks))
+    use_fork = "fork" in multiprocessing.get_all_start_methods()
+    if campaign.obs is not None:
+        campaign.obs.record_execution(
+            "campaign_pool",
+            transport="fork" if use_fork else "spawn",
+            tasks=len(tasks),
+            pool_workers=max_workers,
+        )
 
-    if "fork" in multiprocessing.get_all_start_methods():
+    if use_fork:
         # Fork workers inherit the world via copy-on-write: zero
         # serialisation cost, which is what makes small worlds still
         # worth parallelising.

@@ -181,3 +181,12 @@ class IcmpScanner:
             yield ipaddress.IPv4Address(target)
         except ValueError:
             yield from ipaddress.IPv4Network(target)
+
+    def export_metrics(self, registry) -> None:
+        """Publish probe totals into a :class:`repro.obs.MetricsRegistry`."""
+        registry.counter("icmp_probes_sent_total").inc(self.probes_sent)
+        registry.counter("icmp_probes_suppressed_total").inc(self.probes_suppressed)
+        registry.counter("icmp_echoes_lost_total").inc(self.echoes_lost)
+        registry.counter("icmp_retries_total").inc(self.retries_sent)
+        if self.rate_limit is not None:
+            self.rate_limit.export_metrics(registry, prefix="icmp_ratelimit")

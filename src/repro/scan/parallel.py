@@ -110,14 +110,19 @@ def collect_days(
     days: Sequence[dt.date],
     *,
     workers: int,
+    obs=None,
 ) -> "SnapshotSeries":
     """Collect ``days`` for ``collector`` on a process pool.
 
     Raises ``ValueError`` if the platform lacks ``fork`` and the world
     cannot be pickled (worlds built by
-    :func:`repro.netsim.internet.build_world` always can).
+    :func:`repro.netsim.internet.build_world` always can).  ``obs`` (an
+    :class:`repro.obs.Observability` handle) receives the pool shape —
+    transport, chunk and worker counts — under ``timings.execution``;
+    those vary with the host, never the collected series.
     """
     global _WORKER_STATE
+    from repro.obs import resolve_obs
     from repro.scan.snapshot import SnapshotSeries
 
     if workers < 2:
@@ -136,8 +141,15 @@ def collect_days(
     network_names = list(collector.networks) if collector.networks is not None else None
     state = (collector.internet, network_names, collector.at_offset)
     max_workers = min(workers, len(chunks))
+    use_fork = "fork" in multiprocessing.get_all_start_methods()
+    resolve_obs(obs).record_execution(
+        "snapshot_pool",
+        transport="fork" if use_fork else "spawn",
+        chunks=len(chunks),
+        pool_workers=max_workers,
+    )
 
-    if "fork" in multiprocessing.get_all_start_methods():
+    if use_fork:
         # Fork workers inherit the world via copy-on-write: the pickle
         # round-trip the old implementation paid per run is gone.
         _WORKER_STATE = state

@@ -30,6 +30,9 @@ class TokenBucket:
         #: reordering).  Each is clamped to the last refill time rather
         #: than crashing the scan, but counted so callers can audit.
         self.clock_skew_events = 0
+        #: Acquire outcomes, for the observability layer.
+        self.acquired = 0
+        self.denied = 0
 
     def _refill(self, now: float) -> None:
         if now < self._updated_at:
@@ -46,7 +49,9 @@ class TokenBucket:
         self._refill(now)
         if self._tokens >= tokens:
             self._tokens -= tokens
+            self.acquired += 1
             return True
+        self.denied += 1
         return False
 
     def delay_until_available(self, now: float, tokens: float = 1.0) -> float:
@@ -59,3 +64,9 @@ class TokenBucket:
     @property
     def available(self) -> float:
         return self._tokens
+
+    def export_metrics(self, registry, *, prefix: str = "ratelimit") -> None:
+        """Publish acquire/deny/skew totals into a metrics registry."""
+        registry.counter(f"{prefix}_acquired_total").inc(self.acquired)
+        registry.counter(f"{prefix}_denied_total").inc(self.denied)
+        registry.counter(f"{prefix}_clock_skew_total").inc(self.clock_skew_events)

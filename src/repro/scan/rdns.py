@@ -52,6 +52,20 @@ class RdnsLookupEngine:
             network=network,
         )
 
+    def export_metrics(self, registry) -> None:
+        """Publish lookup/rcode totals (and the bucket's counters)."""
+        registry.counter("rdns_lookups_total").inc(self.lookups_performed)
+        registry.counter("rdns_lookups_suppressed_total").inc(self.lookups_suppressed)
+        registry.counter("rdns_attempts_total").inc(self.attempts_made)
+        registry.counter("rdns_timeouts_total").inc(self.timeouts_seen)
+        rcodes = registry.counter("rdns_rcode_total")
+        for status in sorted(self.status_counts, key=lambda s: s.value):
+            rcodes.labels(rcode=status.value).inc(self.status_counts[status])
+            rcodes.inc(self.status_counts[status])
+        if self.rate_limit is not None:
+            self.rate_limit.export_metrics(registry, prefix="rdns_ratelimit")
+        self.resolver.export_metrics(registry)
+
     @property
     def error_rate(self) -> float:
         """Share of lookups that did not return a PTR record."""

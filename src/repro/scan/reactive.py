@@ -93,6 +93,10 @@ class ReactiveMonitor:
         self._follow_generation: Dict[ipaddress.IPv4Address, int] = {}
         self._end: int = 0
         self.sweeps_run = 0
+        #: Reactive follows started: ICMP chains on appearance, rDNS
+        #: chains on disappearance (Figure 5's two phases).
+        self.icmp_follows_started = 0
+        self.rdns_follows_started = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -154,6 +158,7 @@ class ReactiveMonitor:
             at = self.engine.now + (extra + 1) * 5 * MINUTE
             if at <= self._end:
                 self.engine.schedule(at, lambda a=address, n=network: self._do_rdns(a, n))
+        self.icmp_follows_started += 1
         self._schedule_icmp_follow(
             address,
             network,
@@ -199,6 +204,7 @@ class ReactiveMonitor:
         immediate = self._do_rdns(address, network)
         if immediate is not None and immediate.status is ResolutionStatus.NXDOMAIN:
             return
+        self.rdns_follows_started += 1
         self._schedule_rdns_follow(
             address,
             network,
@@ -235,3 +241,11 @@ class ReactiveMonitor:
         if observation is not None:
             self.rdns_observations.append(observation)
         return observation
+
+    def export_metrics(self, registry) -> None:
+        """Publish sweep/follow totals into a metrics registry."""
+        registry.counter("reactive_sweeps_total").inc(self.sweeps_run)
+        registry.counter("reactive_icmp_follows_total").inc(self.icmp_follows_started)
+        registry.counter("reactive_rdns_follows_total").inc(self.rdns_follows_started)
+        registry.counter("reactive_icmp_observations_total").inc(len(self.icmp_observations))
+        registry.counter("reactive_rdns_observations_total").inc(len(self.rdns_observations))

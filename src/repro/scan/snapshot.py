@@ -274,6 +274,7 @@ class SnapshotCollector:
         cadence_days: int = 1,
         networks: Optional[Sequence[str]] = None,
         at_offset: Optional[int] = DEFAULT_SNAPSHOT_OFFSET,
+        obs=None,
     ):
         if cadence_days < 1:
             raise ValueError("cadence_days must be at least 1")
@@ -282,6 +283,9 @@ class SnapshotCollector:
         self.cadence_days = cadence_days
         self.networks = networks
         self.at_offset = at_offset
+        #: Optional :class:`repro.obs.Observability` handle; spans and
+        #: counters are recorded there (no-op when ``None``).
+        self.obs = obs
         #: Counters from the most recent :meth:`collect` call.
         self.last_metrics: Optional[CollectionMetrics] = None
 
@@ -323,8 +327,42 @@ class SnapshotCollector:
         request can never run slower than serial (short windows and
         single-core hosts fall back); the cap actually used is recorded
         in :attr:`CollectionMetrics.effective_workers`.  Timing and
-        cache counters land in :attr:`last_metrics`.
+        cache counters land in :attr:`last_metrics`; when the collector
+        carries an :class:`repro.obs.Observability` handle, the call is
+        traced as a ``snapshot.collect`` span, deterministic counts
+        land in the metrics registry and run-shape details (workers,
+        cache traffic) under ``timings.execution``.
         """
+        from repro.obs import resolve_obs
+
+        obs = resolve_obs(self.obs)
+        cache_baseline = cache.execution_snapshot() if cache is not None else None
+        with obs.span("snapshot.collect", collector=self.name) as span:
+            series = self._collect(start, end, workers=workers, cache=cache)
+            metrics = self.last_metrics
+            span.set("days", metrics.days)
+            span.set("responses", metrics.responses)
+            span.set("cadence_days", self.cadence_days)
+            obs.metrics.counter("snapshot_days_total").inc(metrics.days)
+            obs.metrics.counter("snapshot_responses_total").inc(metrics.responses)
+        obs.record_execution(
+            "snapshot",
+            workers=metrics.workers,
+            effective_workers=metrics.effective_workers,
+            cache_hit=metrics.cache_hit,
+        )
+        if cache is not None:
+            cache.export_metrics(obs, section="snapshot", baseline=cache_baseline)
+        return series
+
+    def _collect(
+        self,
+        start: dt.date,
+        end: dt.date,
+        *,
+        workers: int,
+        cache: Optional["SnapshotCache"],
+    ) -> SnapshotSeries:
         from repro.scan.parallel import effective_workers
 
         started = time.perf_counter()
@@ -359,7 +397,9 @@ class SnapshotCollector:
         if metrics.effective_workers > 1:
             from repro.scan.parallel import collect_days
 
-            series = collect_days(self, days, workers=metrics.effective_workers)
+            series = collect_days(
+                self, days, workers=metrics.effective_workers, obs=self.obs
+            )
         else:
             series = SnapshotSeries(
                 self.name,

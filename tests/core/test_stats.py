@@ -37,9 +37,19 @@ class TestBootstrapCi:
         sample = [float(i) for i in range(30)]
         assert bootstrap_ci(sample, seed=3) == bootstrap_ci(sample, seed=3)
 
+    def test_empty_sample_degenerate(self):
+        interval = bootstrap_ci([])
+        assert interval.degenerate
+        assert np.isnan(interval.estimate)
+        assert np.isnan(interval.low) and np.isnan(interval.high)
+        assert 0.0 not in interval
+
+    def test_single_sample_zero_width_degenerate(self):
+        interval = bootstrap_ci([42.0])
+        assert interval.degenerate
+        assert interval.low == interval.estimate == interval.high == 42.0
+
     def test_validation(self):
-        with pytest.raises(ValueError):
-            bootstrap_ci([])
         with pytest.raises(ValueError):
             bootstrap_ci([1.0], confidence=1.5)
 
@@ -66,14 +76,23 @@ class TestProportionCi:
         large = proportion_ci(900, 1000)
         assert (large.high - large.low) < (small.high - small.low)
 
+    def test_no_trials_degenerate(self):
+        interval = proportion_ci(0, 0)
+        assert interval.degenerate
+        assert np.isnan(interval.estimate)
+        assert interval.low == 0.0 and interval.high == 1.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             proportion_ci(1, 0)
         with pytest.raises(ValueError):
             proportion_ci(5, 3)
+        with pytest.raises(ValueError):
+            proportion_ci(0, -1)
 
     def test_str_rendering(self):
         assert "@" in str(proportion_ci(5, 10))
+        assert "degenerate" in str(proportion_ci(0, 0))
 
 
 class TestCompareNetworks:
@@ -107,6 +126,11 @@ class TestLingeringSummary:
         summary = lingering_summary(make_analysis(), network="fast-net")
         assert summary["fraction_within_60m"].estimate == 1.0
 
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError):
-            lingering_summary(LingeringAnalysis())
+    def test_empty_analysis_degenerate(self):
+        summary = lingering_summary(LingeringAnalysis())
+        assert summary["median_minutes"].degenerate
+        assert summary["fraction_within_60m"].degenerate
+
+    def test_unknown_network_degenerate(self):
+        summary = lingering_summary(make_analysis(), network="missing-net")
+        assert summary["median_minutes"].degenerate

@@ -1,0 +1,142 @@
+"""Tests for the metrics primitives and their merge discipline."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    merge_snapshots,
+)
+
+
+def make_registry(counter=5, gauge=3, hist=(1, 4, 9)):
+    registry = MetricsRegistry()
+    registry.counter("events_total").inc(counter)
+    labelled = registry.counter("rcode_total")
+    labelled.labels(rcode="noerror").inc(counter)
+    labelled.inc(counter)
+    registry.gauge("queue_high_water").set_max(gauge)
+    histogram = registry.histogram("attempts", bounds=(1, 3, 10))
+    for value in hist:
+        histogram.observe(value)
+    return registry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_labelled_children_accumulate_independently(self):
+        counter = Counter("c")
+        counter.labels(rcode="nxdomain").inc(2)
+        counter.labels(rcode="nxdomain").inc(3)
+        counter.labels(rcode="servfail").inc(1)
+        snapshot = counter.snapshot()
+        assert snapshot["labels"] == {"rcode=nxdomain": 5, "rcode=servfail": 1}
+
+    def test_label_key_order_is_canonical(self):
+        counter = Counter("c")
+        assert counter.labels(b="2", a="1") is counter.labels(a="1", b="2")
+
+
+class TestGauge:
+    def test_set_max_is_high_water(self):
+        gauge = Gauge("g")
+        gauge.set_max(5)
+        gauge.set_max(3)
+        assert gauge.value == 5
+
+
+class TestHistogram:
+    def test_buckets_count_inclusively(self):
+        histogram = Histogram("h", bounds=(1, 3))
+        for value in (1, 2, 3, 4):
+            histogram.observe(value)
+        buckets = histogram.snapshot()["buckets"]
+        assert buckets == {"le_1": 1, "le_3": 2, "le_inf": 1}
+        assert histogram.count == 4
+        assert histogram.sum == 10
+
+    def test_mismatched_bounds_refuse_to_merge(self):
+        a = Histogram("h", bounds=(1, 2))
+        b = Histogram("h", bounds=(1, 5))
+        with pytest.raises(ValueError):
+            a.merge_snapshot(b.snapshot())
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_value_reads(self):
+        registry = make_registry()
+        assert registry.value("events_total") == 5
+        assert registry.value("rcode_total", {"rcode": "noerror"}) == 5
+        assert registry.value("unknown") == 0
+
+    def test_snapshot_is_json_serialisable_and_sorted(self):
+        snapshot = make_registry().snapshot()
+        assert json.loads(json.dumps(snapshot, sort_keys=True)) == snapshot
+        assert list(snapshot["counters"]) == sorted(snapshot["counters"])
+
+    def test_merge_adds_counters_and_maxes_gauges(self):
+        a = make_registry(counter=5, gauge=3)
+        b = make_registry(counter=7, gauge=9)
+        a.merge_snapshot(b.snapshot())
+        assert a.value("events_total") == 12
+        assert a.value("rcode_total", {"rcode": "noerror"}) == 12
+        assert a.value("queue_high_water") == 9
+        assert a.histogram("attempts", bounds=(1, 3, 10)).count == 6
+
+    def test_merge_is_associative_and_commutative(self):
+        parts = [make_registry(counter=c, gauge=g, hist=(c,)) for c, g in
+                 [(1, 4), (2, 2), (3, 7)]]
+        snapshots = [part.snapshot() for part in parts]
+        left_to_right = merge_snapshots(snapshots)
+        right_to_left = merge_snapshots(reversed(snapshots))
+        pairwise = merge_snapshots(
+            [merge_snapshots(snapshots[:2]), snapshots[2]]
+        )
+        assert left_to_right == right_to_left == pairwise
+
+    def test_merge_round_trips_through_json(self):
+        snapshot = make_registry().snapshot()
+        recovered = merge_snapshots([json.loads(json.dumps(snapshot))])
+        assert recovered == snapshot
+
+
+class TestDisabledRegistry:
+    def test_disabled_registry_hands_out_noops(self):
+        metric = NULL_REGISTRY.counter("anything")
+        metric.inc(10)
+        metric.labels(a="b").inc()
+        assert metric.value == 0
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_disabled_merge_is_noop(self):
+        disabled = MetricsRegistry(enabled=False)
+        disabled.merge_snapshot(make_registry().snapshot())
+        assert disabled.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_default_buckets_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS

@@ -1,0 +1,71 @@
+"""Tests for span-based tracing."""
+
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class TestTracer:
+    def test_nesting_follows_call_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", network="A") as span:
+                span.set("count", 3)
+        payload = tracer.spans_payload()
+        assert payload == [
+            {
+                "name": "outer",
+                "children": [
+                    {
+                        "name": "inner",
+                        "labels": {"network": "A"},
+                        "attributes": {"count": 3},
+                    }
+                ],
+            }
+        ]
+
+    def test_payload_carries_no_wall_clock(self):
+        tracer = Tracer()
+        with tracer.span("stage"):
+            pass
+        assert "wall_seconds" not in str(tracer.spans_payload())
+        assert tracer.roots[0].wall_seconds >= 0.0
+
+    def test_timings_accumulate_duplicate_paths(self):
+        tracer = Tracer()
+        tracer.add_span("stage", seconds=1.0)
+        tracer.add_span("stage", seconds=2.0)
+        assert tracer.timings_payload() == {"stage": 3.0}
+
+    def test_add_span_nests_under_open_span(self):
+        tracer = Tracer()
+        with tracer.span("campaign"):
+            tracer.add_span("network", labels={"network": "A"}, seconds=0.5)
+        timings = tracer.timings_payload()
+        assert "campaign/network[network=A]" in timings
+
+    def test_render_is_human_readable(self):
+        tracer = Tracer()
+        with tracer.span("stage", network="A") as span:
+            span.set("days", 7)
+        rendered = tracer.render()
+        assert "stage[network=A]" in rendered
+        assert "days=7" in rendered
+
+    def test_exception_still_pops_stack(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("fails"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with tracer.span("after"):
+            pass
+        assert [root.name for root in tracer.roots] == ["fails", "after"]
+
+
+class TestDisabledTracer:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("stage", network="A") as span:
+            span.set("count", 1)
+        assert NULL_TRACER.spans_payload() == []
+        assert NULL_TRACER.add_span("post-hoc") is None

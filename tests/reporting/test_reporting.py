@@ -23,6 +23,11 @@ class TestTextTable:
         with pytest.raises(ValueError):
             table.add_row([1])
 
+    def test_row_length_mismatch_message_names_counts(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError, match="3 cells.*2 columns"):
+            table.add_row([1, 2, 3])
+
     def test_alignment_validation(self):
         with pytest.raises(ValueError):
             TextTable(["a"], aligns=["x"])
@@ -67,7 +72,11 @@ class TestBarChart:
         assert lines[0].startswith("big")
 
     def test_empty(self):
-        assert render_bar_chart({}) == "(empty)"
+        assert render_bar_chart({}) == "(no data)"
+
+    def test_all_zero_values_clamp_scale(self):
+        chart = render_bar_chart({"a": 0, "b": 0}, width=10)
+        assert "#" not in chart
 
     def test_log_note(self):
         assert "log-scaled" in render_bar_chart({"a": 1}, log_note=True)
@@ -85,6 +94,9 @@ class TestCdfRender:
         rendered = render_cdf({"net": []})
         assert "0.0%" in rendered
 
+    def test_empty_mapping(self):
+        assert render_cdf({}) == "(no data)"
+
 
 class TestTimeSeries:
     def test_downsampling(self):
@@ -94,4 +106,18 @@ class TestTimeSeries:
         assert 10 <= len(data_lines) <= 12
 
     def test_empty(self):
-        assert "(empty)" in render_time_series({"x": {}})
+        assert "(no data)" in render_time_series({"x": {}})
+        assert render_time_series({}) == "(no data)"
+
+    def test_bars_scale_to_series_peak(self):
+        series = {0: 400.0, 1: 200.0}
+        rendered = render_time_series({"x": series}, width=10)
+        data_lines = [line for line in rendered.splitlines() if line.startswith("  ")]
+        assert data_lines[0].count("#") == 10
+        assert data_lines[1].count("#") == 5
+
+    def test_all_equal_values_clamp_to_full_width(self):
+        series = {0: 7.0, 1: 7.0}
+        rendered = render_time_series({"x": series}, width=10)
+        data_lines = [line for line in rendered.splitlines() if line.startswith("  ")]
+        assert all(line.count("#") == 10 for line in data_lines)

@@ -1,0 +1,81 @@
+"""Regression tests for cache self-repair and traffic accounting.
+
+A torn write used to leave a corrupt ``<key>.json`` in place forever
+(every later run paid the decode failure and re-simulated), and
+``clear()`` only swept ``*.json`` so crashed writers leaked ``*.tmp``
+files indefinitely.
+"""
+
+from repro.obs import Observability
+from repro.scan.cache import SnapshotCache
+
+
+def make_cache(tmp_path) -> SnapshotCache:
+    return SnapshotCache(tmp_path)
+
+
+class TestCorruptEntryRepair:
+    def test_corrupt_entry_is_deleted_and_counted(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.store("k1", {"ok": True})
+        cache.path_for("k1").write_text("{torn", encoding="utf-8")
+
+        assert cache.load("k1") is None
+        assert cache.corrupt_entries == 1
+        # The file is gone: the next load is a plain miss, not another
+        # decode failure.
+        assert not cache.path_for("k1").exists()
+        assert cache.load("k1") is None
+        assert cache.corrupt_entries == 1
+        assert cache.misses == 2
+
+    def test_store_after_repair_rewrites_cleanly(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.store("k1", {"value": 1})
+        cache.path_for("k1").write_text("not json", encoding="utf-8")
+        assert cache.load("k1") is None
+        cache.store("k1", {"value": 2})
+        assert cache.load("k1") == {"value": 2}
+
+    def test_traffic_counters(self, tmp_path):
+        cache = make_cache(tmp_path)
+        assert cache.load("missing") is None
+        cache.store("k1", {})
+        assert cache.load("k1") == {}
+        snapshot = cache.execution_snapshot()
+        assert snapshot == {"hits": 1, "misses": 1, "stores": 1, "corrupt_entries": 0}
+
+    def test_export_metrics_records_deltas(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.store("k1", {})
+        cache.load("k1")
+        baseline = cache.execution_snapshot()
+        cache.load("k1")
+        cache.load("k2")
+        obs = Observability()
+        cache.export_metrics(obs, section="snapshot", baseline=baseline)
+        assert obs.execution["snapshot"] == {
+            "cache_hits": 1,
+            "cache_misses": 1,
+            "cache_stores": 0,
+            "cache_corrupt_entries": 0,
+        }
+
+
+class TestClearSweepsOrphans:
+    def test_clear_removes_orphaned_tmp_files(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.store("k1", {})
+        # A writer that crashed between temp-file creation and the
+        # atomic rename leaves exactly this behind.
+        orphan = cache.root / "orphanXYZ.tmp"
+        orphan.write_text("partial", encoding="utf-8")
+
+        removed = cache.clear()
+        assert removed == 2
+        assert not orphan.exists()
+        assert cache.entries() == []
+
+    def test_clear_on_missing_root(self, tmp_path):
+        cache = SnapshotCache(tmp_path / "never-created")
+        assert cache.clear() == 0

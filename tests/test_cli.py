@@ -143,6 +143,73 @@ class TestSnapshotCacheFlags:
         assert "dynamic" in output
 
 
+class TestObservabilityFlags:
+    CAMPAIGN_ARGS = (
+        "--start", "2021-11-01", "--end", "2021-11-02",
+        "--networks", "Academic-C",
+    )
+
+    def test_metrics_out_writes_manifest(self, tmp_path):
+        manifest_path = tmp_path / "m.json"
+        code, output = run_cli(
+            "--quick", "--seed", "1", "--metrics-out", str(manifest_path),
+            "supplemental", *self.CAMPAIGN_ARGS,
+        )
+        assert code == 0
+        assert "wrote run manifest" in output
+
+        import json
+
+        payload = json.loads(manifest_path.read_text())
+        assert payload["run"]["seed"] == 1
+        assert payload["run"]["command"] == "campaign"
+        assert "world_fingerprint" in payload["run"]
+        assert payload["metrics"]["counters"]["resolver_queries_total"]["value"] > 0
+        assert "timings" in payload
+
+    def test_supplemental_alias_matches_campaign(self, tmp_path):
+        import json
+
+        def deterministic(path, command):
+            code, _ = run_cli(
+                "--quick", "--seed", "1", "--metrics-out", str(path),
+                command, *self.CAMPAIGN_ARGS,
+            )
+            assert code == 0
+            payload = json.loads(path.read_text())
+            payload.pop("timings")
+            return json.dumps(payload, sort_keys=True)
+
+        alias = deterministic(tmp_path / "alias.json", "supplemental")
+        canonical = deterministic(tmp_path / "canonical.json", "campaign")
+        assert alias == canonical
+
+    def test_trace_prints_span_tree(self):
+        code, output = run_cli(
+            "--quick", "--seed", "1", "--trace", "supplemental", *self.CAMPAIGN_ARGS
+        )
+        assert code == 0
+        assert "[trace]" in output
+        assert "campaign.run" in output
+        assert "campaign.network[network=Academic-C]" in output
+
+    def test_env_var_fallback(self, tmp_path, monkeypatch):
+        manifest_path = tmp_path / "env.json"
+        monkeypatch.setenv("REPRO_METRICS_OUT", str(manifest_path))
+        code, output = run_cli(
+            "--quick", "--seed", "1", "supplemental", *self.CAMPAIGN_ARGS
+        )
+        assert code == 0
+        assert manifest_path.exists()
+
+    def test_disabled_by_default(self, tmp_path):
+        code, output = run_cli(
+            "--quick", "--seed", "1", "campaign", *self.CAMPAIGN_ARGS
+        )
+        assert code == 0
+        assert "manifest" not in output
+
+
 class TestSpecAndSave:
     def test_campaign_from_spec_with_save(self, tmp_path):
         import json
