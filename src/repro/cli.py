@@ -142,7 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=False)
 
     # All --start/--end windows are half-open: --end itself is not measured.
-    commands.add_parser("study", help="dynamicity + leak identification (Sections 4-5)")
+    study = commands.add_parser(
+        "study", help="dynamicity + leak identification (Sections 4-5)"
+    )
+    study.add_argument(
+        "--leak-sample-days",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "how many trailing collected days feed the leak matcher "
+            "(default: the StudyConfig value, 7); the sample is derived "
+            "in one shared pass, fanned over --workers"
+        ),
+    )
 
     def _add_campaign_args(campaign) -> None:
         campaign.add_argument("--start", type=_parse_date, default=dt.date(2021, 11, 1))
@@ -263,6 +276,10 @@ def cmd_study(args, out) -> int:
     config.campaign_workers = args.workers
     config.campaign_cache = _campaign_cache(args)
     config.fault_plan = _fault_plan(args)
+    if args.leak_sample_days is not None:
+        if args.leak_sample_days < 1:
+            raise ValueError("--leak-sample-days must be at least 1")
+        config.leak_sample_days = args.leak_sample_days
     study = ReproductionStudy(config, obs=_obs(args))
     report = study.dynamicity()
     print(
@@ -288,7 +305,12 @@ def cmd_study(args, out) -> int:
             outcome = "hit" if metrics.cache_hit else (
                 "miss, stored" if metrics.cache_stored else "miss"
             )
+            if metrics.cache_migrated:
+                outcome += ", payload migrated to columnar"
             print(f"[timings] snapshot cache {outcome} (key {metrics.cache_key[:12]}…)", file=out)
+        sample = study.daily_series().last_sample_metrics
+        if sample is not None:
+            print(f"[timings] leak sample: {sample.describe()}", file=out)
     return 0
 
 

@@ -22,9 +22,11 @@ truth:
 """
 
 from repro.core.dynamicity import (
+    DictReferenceAnalyzer,
     DynamicityAnalyzer,
     DynamicityReport,
     DynamicityThresholds,
+    IncrementalDynamicityAnalyzer,
     PrefixDynamicity,
 )
 from repro.core.prefixes import AnnouncedPrefixMap, dynamic_fraction_summary
@@ -51,6 +53,7 @@ __all__ = [
     "ActivityGroup",
     "AnnouncedPrefixMap",
     "DeviceTracker",
+    "DictReferenceAnalyzer",
     "DynamicityAnalyzer",
     "DynamicityReport",
     "DynamicityThresholds",
@@ -60,6 +63,7 @@ __all__ = [
     "GroupBuilder",
     "GroupFunnel",
     "HeistPlanner",
+    "IncrementalDynamicityAnalyzer",
     "LeakIdentifier",
     "LeakReport",
     "LeakThresholds",

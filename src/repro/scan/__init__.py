@@ -28,6 +28,7 @@ from repro.scan.parallel import default_workers
 from repro.scan.rdns import RdnsLookupEngine
 from repro.scan.snapshot import (
     CollectionMetrics,
+    SampleMetrics,
     SnapshotCollector,
     SnapshotSeries,
     SnapshotStats,
@@ -39,7 +40,13 @@ from repro.scan.campaign import (
     SupplementalDataset,
     run_network_campaign,
 )
-from repro.scan.storage import IcmpColumns, RdnsColumns
+from repro.scan.storage import (
+    DATASET_FORMAT_VERSION,
+    CountMatrix,
+    IcmpColumns,
+    PrefixTable,
+    RdnsColumns,
+)
 from repro.scan.persistence import load_dataset, save_dataset
 
 __all__ = [
@@ -47,13 +54,17 @@ __all__ = [
     "CampaignCache",
     "CampaignMetrics",
     "CollectionMetrics",
+    "CountMatrix",
+    "DATASET_FORMAT_VERSION",
     "IcmpColumns",
     "IcmpObservation",
     "IcmpScanner",
+    "PrefixTable",
     "RdnsColumns",
     "RdnsLookupEngine",
     "RdnsObservation",
     "ReactiveMonitor",
+    "SampleMetrics",
     "SnapshotCache",
     "SnapshotCollector",
     "SnapshotSeries",

@@ -13,7 +13,16 @@ For snapshot series (:class:`SnapshotCache`):
 * the collector name and network restriction,
 * the half-open ``[start, end)`` window,
 * the cadence and snapshot ``at_offset``,
-* the payload format version.
+* the cache *key* format version (:data:`FORMAT_VERSION`).
+
+Key versioning is deliberately separate from payload versioning
+(:data:`repro.scan.storage.DATASET_FORMAT_VERSION`): a payload schema
+bump does **not** change the key, so entries written under the old
+schema still *hit* and are migrated on read — snapshot readers decode
+legacy v2 dict payloads and rewrite the entry columnar (v3), and the
+campaign reader accepts both schema versions unchanged.  Bumping
+:data:`FORMAT_VERSION` instead would orphan every existing entry and
+force a cold re-simulation.
 
 For supplemental campaign datasets (:class:`CampaignCache`): the world
 fingerprint, the network list, the window, the reactive backoff
@@ -42,7 +51,11 @@ import pathlib
 import tempfile
 from typing import List, Optional, Sequence, Tuple
 
-#: Bump when the payload schema changes; old entries then miss.
+#: Version of the cache *key* material.  Bump only when the keying
+#: scheme itself changes (every old entry then misses).  Payload schema
+#: changes are versioned inside the payload
+#: (:data:`repro.scan.storage.DATASET_FORMAT_VERSION`) and migrated on
+#: read instead, so warm caches survive format bumps.
 FORMAT_VERSION = 1
 
 CACHE_ENV_VAR = "REPRO_SNAPSHOT_CACHE"

@@ -45,15 +45,17 @@ from repro.scan.observations import IcmpObservation, RdnsObservation
 from repro.scan.ratelimit import TokenBucket
 from repro.scan.rdns import RdnsLookupEngine
 from repro.scan.reactive import TABLE2_SCHEDULE, BackoffSchedule, ReactiveMonitor
-from repro.scan.storage import IcmpColumns, RdnsColumns
+from repro.scan.storage import DATASET_FORMAT_VERSION, IcmpColumns, RdnsColumns
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scan.cache import CampaignCache
 
-#: Bump when the dataset payload schema changes; old cache entries miss.
-#: v2 added the ``metrics`` field (the merged per-network registry
-#: snapshot) so cache-replay runs reproduce the deterministic counters.
-DATASET_FORMAT_VERSION = 2
+#: Campaign payload versions this reader accepts.  The canonical
+#: :data:`~repro.scan.storage.DATASET_FORMAT_VERSION` moved to
+#: ``scan/storage.py`` when v3 made *snapshot* payloads columnar; the
+#: campaign schema is unchanged between v2 and v3, so v2 entries stay
+#: valid hits rather than forcing a cold re-simulation.
+COMPATIBLE_DATASET_VERSIONS = (2, DATASET_FORMAT_VERSION)
 
 #: The paper's nine selected networks, in Table 4 order.
 SUPPLEMENTAL_NETWORKS = [
@@ -545,7 +547,7 @@ class SupplementalCampaign:
             key = self.cache_key(cache, start, end)
             metrics.cache_key = key
             payload = cache.load(key)
-            if payload is not None and payload.get("version") == DATASET_FORMAT_VERSION:
+            if payload is not None and payload.get("version") in COMPATIBLE_DATASET_VERSIONS:
                 decode_started = time.perf_counter()
                 dataset = SupplementalDataset.from_payload(payload)
                 obs.metrics.merge_snapshot(payload.get("metrics") or {})

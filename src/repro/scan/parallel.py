@@ -91,6 +91,30 @@ def _collect_chunk(
     return results
 
 
+def _records_chunk(ordinals: List[int]) -> List[Tuple[int, List[Tuple[int, str]]]]:
+    """Derive one chunk of full per-day record lists inside a worker.
+
+    Addresses travel as raw 32-bit ints (cheap to pickle); the parent
+    rebuilds ``IPv4Address`` objects on ingestion.
+    """
+    assert _WORKER_STATE is not None, "worker state missing (initializer did not run)"
+    internet, network_names, at_offset = _WORKER_STATE
+    if network_names is None:
+        networks = internet.networks
+    else:
+        networks = [internet.network(name) for name in network_names]
+    results = []
+    for ordinal in ordinals:
+        day = dt.date.fromordinal(ordinal)
+        records = [
+            (int(address), hostname)
+            for network in networks
+            for address, hostname in network.records_on(day, at_offset=at_offset)
+        ]
+        results.append((ordinal, records))
+    return results
+
+
 def chunk_days(days: Sequence[dt.date], workers: int) -> List[List[dt.date]]:
     """Split ``days`` into contiguous chunks, ~2 per worker.
 
@@ -141,9 +165,73 @@ def collect_days(
     network_names = list(collector.networks) if collector.networks is not None else None
     state = (collector.internet, network_names, collector.at_offset)
     max_workers = min(workers, len(chunks))
+    chunk_results = _map_chunks(
+        state, chunks, max_workers, _collect_chunk, obs=obs, section="snapshot_pool"
+    )
+    _ingest(series, chunk_results)
+    return series
+
+
+def sample_day_records(
+    internet,
+    network_names: Optional[Sequence[str]],
+    days: Sequence[dt.date],
+    *,
+    at_offset: Optional[int],
+    workers: int,
+    obs=None,
+) -> List[Tuple[object, str]]:
+    """Derive full per-day record lists for ``days`` on a process pool.
+
+    The fan-out behind :meth:`repro.scan.snapshot.SnapshotSeries.sample_records`:
+    day-chunks derive concurrently and merge chronologically, so the
+    flattened record stream is bit-identical to a serial
+    ``records_on`` walk (derivation is deterministic per day).  The
+    returned records are *not* deduplicated — the caller owns that, so
+    serial and parallel paths share one dedup pass.
+    """
+    import ipaddress
+
+    if workers < 2:
+        raise ValueError("sample_day_records needs at least 2 workers")
+    chunks = [[day.toordinal() for day in chunk] for chunk in chunk_days(days, workers)]
+    state = (internet, list(network_names) if network_names is not None else None, at_offset)
+    max_workers = min(workers, len(chunks))
+    chunk_results = _map_chunks(
+        state, chunks, max_workers, _records_chunk, obs=obs, section="sample_pool"
+    )
+    records: List[Tuple[object, str]] = []
+    for chunk_result in chunk_results:
+        for _, day_records in chunk_result:
+            records.extend(
+                (ipaddress.IPv4Address(value), hostname)
+                for value, hostname in day_records
+            )
+    return records
+
+
+def _map_chunks(
+    state: Tuple[object, Optional[List[str]], Optional[int]],
+    chunks: List[List[int]],
+    max_workers: int,
+    task,
+    *,
+    obs=None,
+    section: str,
+) -> List[object]:
+    """Run ``task`` over ``chunks`` on a pool, preserving chunk order.
+
+    Shared transport for every day-chunk fan-out.  Where ``fork`` is
+    available workers inherit ``state`` through copy-on-write memory;
+    elsewhere it is pickled once into the pool initializer.  ``obs``
+    receives the pool shape under ``timings.execution``.
+    """
+    global _WORKER_STATE
+    from repro.obs import resolve_obs
+
     use_fork = "fork" in multiprocessing.get_all_start_methods()
     resolve_obs(obs).record_execution(
-        "snapshot_pool",
+        section,
         transport="fork" if use_fork else "spawn",
         chunks=len(chunks),
         pool_workers=max_workers,
@@ -158,10 +246,9 @@ def collect_days(
                 max_workers=max_workers,
                 mp_context=multiprocessing.get_context("fork"),
             ) as pool:
-                _ingest(series, pool.map(_collect_chunk, chunks))
+                return list(pool.map(task, chunks))
         finally:
             _WORKER_STATE = None
-        return series
 
     try:
         blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
@@ -175,8 +262,7 @@ def collect_days(
         initializer=_init_worker,
         initargs=(blob,),
     ) as pool:
-        _ingest(series, pool.map(_collect_chunk, chunks))
-    return series
+        return list(pool.map(task, chunks))
 
 
 def _ingest(series: "SnapshotSeries", chunk_results) -> None:

@@ -25,11 +25,18 @@ from __future__ import annotations
 import datetime as dt
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.netsim.internet import Internet
 from repro.netsim.network import Network
 from repro.netsim.simtime import days_between
+from repro.scan.storage import (
+    DATASET_FORMAT_VERSION,
+    CountMatrix,
+    PrefixTable,
+    decode_count_columns,
+    encode_count_columns,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scan.cache import SnapshotCache
@@ -65,6 +72,9 @@ class CollectionMetrics:
     cache_hit: bool = False
     cache_key: Optional[str] = None
     cache_stored: bool = False
+    #: True when a legacy (pre-columnar) payload was decoded and the
+    #: entry was transparently rewritten in the v3 format.
+    cache_migrated: bool = False
     simulate_seconds: float = 0.0
     total_seconds: float = 0.0
 
@@ -78,6 +88,25 @@ class CollectionMetrics:
             f"{self.days} snapshot day(s) via {source} in "
             f"{self.total_seconds:.2f}s ({self.days_per_second:.1f} days/s, "
             f"{self.responses:,} responses)"
+        )
+
+
+@dataclass
+class SampleMetrics:
+    """Counters for one :meth:`SnapshotSeries.sample_records` call."""
+
+    workers: int = 1
+    effective_workers: int = 1
+    days: int = 0
+    raw_records: int = 0
+    unique_records: int = 0
+    total_seconds: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.unique_records:,} unique of {self.raw_records:,} records "
+            f"over {self.days} day(s) via {self.effective_workers} worker(s) "
+            f"in {self.total_seconds:.2f}s"
         )
 
 
@@ -111,9 +140,13 @@ class SnapshotSeries:
     """The output of one collector over one period.
 
     Per-day /24 counts are materialised eagerly (they feed the
-    dynamicity heuristic); full per-day record sets are re-derived on
-    demand from the deterministic simulation, mirroring how one would
-    re-read raw snapshot files from disk.
+    dynamicity heuristic) and held columnar — a shared
+    :class:`~repro.scan.storage.PrefixTable` plus one dense count
+    column per day (:class:`~repro.scan.storage.CountMatrix`); the
+    dict-shaped accessors below are thin views over those columns.
+    Full per-day record sets are re-derived on demand from the
+    deterministic simulation, mirroring how one would re-read raw
+    snapshot files from disk.
     """
 
     def __init__(
@@ -133,9 +166,12 @@ class SnapshotSeries:
         self._at_offset = at_offset
         self._cadence_days = cadence_days
         self._days: List[dt.date] = []
-        self._counts: Dict[dt.date, Dict[str, int]] = {}
+        self._day_index: Dict[dt.date, int] = {}
+        self._matrix = CountMatrix()
         self._total_responses = 0
         self._unique_ptrs: Set[str] = set()
+        #: Counters from the most recent :meth:`sample_records` call.
+        self.last_sample_metrics: Optional["SampleMetrics"] = None
 
     # -- collection (used by SnapshotCollector) ------------------------------
 
@@ -159,8 +195,9 @@ class SnapshotSeries:
                     f"{self.name}: snapshot spacing {gap}d contradicts the "
                     f"declared cadence of {self._cadence_days}d"
                 )
-        self._counts[day] = counts
-        self._total_responses += sum(counts.values())
+        self._day_index[day] = len(self._days)
+        self._matrix.append_day(counts)
+        self._total_responses += self._matrix.day_total(self._day_index[day])
         self._unique_ptrs.update(ptrs)
         self._days.append(day)
 
@@ -188,17 +225,115 @@ class SnapshotSeries:
         return (self._days[1] - self._days[0]).days
 
     def counts_by_slash24(self, day: dt.date) -> Dict[str, int]:
-        return dict(self._counts[day])
+        """Day's /24 counts as a fresh dict (callers may mutate it)."""
+        return self._matrix.day_counts(self._day_index[day])
+
+    def counts_view(self, day: dt.date) -> Mapping[str, int]:
+        """Day's /24 counts as a no-copy read-only mapping.
+
+        The view is backed directly by the series' count column —
+        analysis loops that only read (the dynamicity heuristic, the
+        occupancy series) use this to skip the per-day dict copy that
+        :meth:`counts_by_slash24` pays for mutability.
+        """
+        return self._matrix.day_view(self._day_index[day])
+
+    def count_matrix(self) -> CountMatrix:
+        """The interned columnar store itself (shared, treat as read-only).
+
+        Columnar consumers — :class:`repro.core.dynamicity.DynamicityAnalyzer`
+        walks count columns by prefix ID — take this instead of
+        re-assembling ``{date: {prefix: count}}`` dicts.
+        """
+        return self._matrix
+
+    def prefix_table(self) -> PrefixTable:
+        """The series' interned prefix table (shared with the matrix)."""
+        return self._matrix.prefixes
 
     def daily_totals(self) -> Dict[dt.date, int]:
-        return {day: sum(self._counts[day].values()) for day in self._days}
+        """Per-day response totals (accumulated at ingest, never re-summed)."""
+        return dict(zip(self._days, self._matrix.totals))
 
     def records_on(self, day: dt.date) -> Iterator[Tuple[object, str]]:
         """Re-derive the full (address, hostname) set for a collected day."""
-        if day not in self._counts:
+        if day not in self._day_index:
             raise KeyError(f"{self.name} holds no snapshot for {day}")
         for network in self._networks():
             yield from network.records_on(day, at_offset=self._at_offset)
+
+    def sample_records(
+        self,
+        days: Optional[Sequence[dt.date]] = None,
+        *,
+        workers: int = 1,
+        obs=None,
+    ) -> List[Tuple[object, str]]:
+        """One deduplicated (address, hostname) sample over ``days``.
+
+        The shared derivation pass behind the leak funnel: every
+        (network, day) record list is derived exactly once — reusing
+        the per-network day caches — and records are deduplicated in
+        first-seen order, so downstream consumers no longer re-walk
+        ``records_on`` day by day.  ``workers > 1`` fans day-chunks
+        over the same process pool as collection (capped by
+        :func:`repro.scan.parallel.effective_workers`); the merged
+        sample is bit-identical to the serial pass.  Counters land in
+        :attr:`last_sample_metrics`, and when ``obs`` (an
+        :class:`repro.obs.Observability` handle) is given the pass is
+        traced as a ``snapshot.sample`` span with deterministic record
+        counters.
+        """
+        from repro.obs import resolve_obs
+        from repro.scan.parallel import effective_workers, sample_day_records
+
+        obs = resolve_obs(obs)
+        sample_days = list(days) if days is not None else list(self._days)
+        for day in sample_days:
+            if day not in self._day_index:
+                raise KeyError(f"{self.name} holds no snapshot for {day}")
+        started = time.perf_counter()
+        metrics = SampleMetrics(workers=max(1, workers), days=len(sample_days))
+        metrics.effective_workers = effective_workers(workers, len(sample_days))
+        self.last_sample_metrics = metrics
+
+        with obs.span("snapshot.sample", collector=self.name) as span:
+            if metrics.effective_workers > 1:
+                raw = sample_day_records(
+                    self._internet,
+                    self._network_names,
+                    sample_days,
+                    at_offset=self._at_offset,
+                    workers=metrics.effective_workers,
+                    obs=obs,
+                )
+            else:
+                raw = (
+                    record
+                    for day in sample_days
+                    for network in self._networks()
+                    for record in network.records_on(day, at_offset=self._at_offset)
+                )
+            seen: Set[Tuple[object, str]] = set()
+            records: List[Tuple[object, str]] = []
+            for record in raw:
+                if record not in seen:
+                    seen.add(record)
+                    records.append(record)
+                metrics.raw_records += 1
+            metrics.unique_records = len(records)
+            span.set("days", metrics.days)
+            span.set("raw_records", metrics.raw_records)
+            span.set("unique_records", metrics.unique_records)
+            obs.metrics.counter("snapshot_sample_records_total").inc(metrics.raw_records)
+            obs.metrics.counter("snapshot_sample_unique_total").inc(metrics.unique_records)
+        metrics.total_seconds = time.perf_counter() - started
+        obs.record_execution(
+            "snapshot_sample",
+            workers=metrics.workers,
+            effective_workers=metrics.effective_workers,
+        )
+        return records
 
     def stats(self) -> SnapshotStats:
         return SnapshotStats(
@@ -216,16 +351,25 @@ class SnapshotSeries:
     # -- cache serialisation -------------------------------------------------
 
     def to_payload(self) -> dict:
-        """A JSON-serialisable snapshot of the collected state."""
+        """A JSON-serialisable snapshot of the collected state.
+
+        The v3 (:data:`~repro.scan.storage.DATASET_FORMAT_VERSION`)
+        format is columnar: the interned prefix table is stored once
+        and each day's counts are a delta-encoded varint column
+        (:func:`~repro.scan.storage.encode_count_columns`), so a warm
+        decode no longer re-parses ``O(days × prefixes)`` JSON dict
+        keys.
+        """
         return {
+            "version": DATASET_FORMAT_VERSION,
             "name": self.name,
             "networks": self._network_names,
             "at_offset": self._at_offset,
             "cadence_days": self._cadence_days,
             "days": [day.isoformat() for day in self._days],
-            "counts": {
-                day.isoformat(): self._counts[day] for day in self._days
-            },
+            "prefixes": list(self._matrix.prefixes.values),
+            "columns": encode_count_columns(self._matrix),
+            "daily_totals": list(self._matrix.totals),
             "total_responses": self._total_responses,
             "unique_ptrs": sorted(self._unique_ptrs),
         }
@@ -238,6 +382,11 @@ class SnapshotSeries:
         ``records_on`` re-derives full record sets from it.  The cache
         layer guarantees this by keying entries on
         :meth:`~repro.netsim.internet.Internet.cache_token`.
+
+        Payloads from the pre-columnar era (``version`` absent or
+        ``<= 2``: per-day ``{prefix: count}`` JSON dicts) are migrated
+        transparently — the collector additionally rewrites such cache
+        entries in the v3 format so later reads take the fast path.
         """
         series = cls(
             payload["name"],
@@ -247,15 +396,49 @@ class SnapshotSeries:
             cadence_days=payload["cadence_days"],
         )
         series._days = [dt.date.fromisoformat(text) for text in payload["days"]]
-        series._counts = {
-            dt.date.fromisoformat(text): {
-                prefix: int(count) for prefix, count in counts.items()
-            }
-            for text, counts in payload["counts"].items()
-        }
+        series._day_index = {day: index for index, day in enumerate(series._days)}
+        if payload.get("version", 2) >= 3:
+            series._matrix = decode_count_columns(
+                payload["prefixes"], payload["columns"], payload.get("daily_totals")
+            )
+        else:
+            # v2 era: one JSON dict per day.  Interning in day order
+            # reproduces the exact prefix table a fresh collection
+            # builds, so a migrated entry re-encodes byte-identically.
+            series._matrix = CountMatrix.from_day_dicts(
+                {prefix: int(count) for prefix, count in payload["counts"][text].items()}
+                for text in payload["days"]
+            )
+        if series._matrix.day_count != len(series._days):
+            raise ValueError(
+                f"payload carries {series._matrix.day_count} count columns "
+                f"for {len(series._days)} days"
+            )
         series._total_responses = int(payload["total_responses"])
         series._unique_ptrs = set(payload["unique_ptrs"])
         return series
+
+
+def legacy_dict_payload(series: "SnapshotSeries") -> dict:
+    """Encode ``series`` in the pre-columnar (v2) payload format.
+
+    Retained as the executable definition of the legacy schema: the
+    migration round-trip tests and the warm-decode benchmark use it to
+    produce authentic v2 payloads without keeping old cache files
+    around.
+    """
+    return {
+        "name": series.name,
+        "networks": series._network_names,
+        "at_offset": series._at_offset,
+        "cadence_days": series._cadence_days,
+        "days": [day.isoformat() for day in series._days],
+        "counts": {
+            day.isoformat(): series.counts_by_slash24(day) for day in series._days
+        },
+        "total_responses": series._total_responses,
+        "unique_ptrs": sorted(series._unique_ptrs),
+    }
 
 
 class SnapshotCollector:
@@ -390,6 +573,11 @@ class SnapshotCollector:
                 metrics.cache_hit = True
                 metrics.responses = series.stats().total_responses
                 metrics.simulate_seconds = time.perf_counter() - simulate_started
+                if payload.get("version", 2) < DATASET_FORMAT_VERSION:
+                    # Transparent migration: rewrite the legacy entry
+                    # columnar so the next warm read skips dict parsing.
+                    cache.store(key, series.to_payload())
+                    metrics.cache_migrated = True
                 metrics.total_seconds = time.perf_counter() - started
                 return series
 

@@ -20,11 +20,12 @@ equivalence tests assert against.
 
 from __future__ import annotations
 
+import base64
 import heapq
 import ipaddress
 from array import array
-from collections.abc import Sequence
-from typing import Dict, Iterator, List, Tuple
+from collections.abc import Mapping, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.dns.resolver import ResolutionStatus
 from repro.scan.observations import IcmpObservation, RdnsObservation
@@ -32,6 +33,19 @@ from repro.scan.observations import IcmpObservation, RdnsObservation
 #: 32-bit-capable unsigned typecode ('I' is 4 bytes on CPython, but the
 #: C standard only guarantees 2; fall back to 'L' where needed).
 _ADDR = "I" if array("I").itemsize >= 4 else "L"
+
+#: Cache-payload format version shared by the snapshot and campaign
+#: payload families.  Bump when a payload schema changes; readers that
+#: cannot migrate treat a mismatch as a miss.
+#:
+#: * v1 — unversioned snapshot payloads (implicit).
+#: * v2 — campaign payloads grew the merged ``metrics`` snapshot;
+#:   snapshot payloads still stored ``{day: {prefix: count}}`` dicts.
+#: * v3 — snapshot payloads went columnar: the prefix table is stored
+#:   once and per-day counts are delta-encoded varint columns
+#:   (:func:`encode_count_columns`).  Campaign payloads are unchanged
+#:   between v2 and v3, so campaign readers accept both.
+DATASET_FORMAT_VERSION = 3
 
 _STATUSES: Tuple[ResolutionStatus, ...] = tuple(ResolutionStatus)
 _STATUS_INDEX: Dict[ResolutionStatus, int] = {
@@ -55,6 +69,327 @@ class _Interner:
             self.values.append(value)
             self._index[value] = index
         return index
+
+
+class PrefixTable:
+    """Stable string↔int interning for /24 prefix keys.
+
+    IDs are dense and assigned in first-seen order, so a table built
+    from a chronologically ingested series is a deterministic function
+    of the series — serial, parallel and cache-replayed collections
+    produce identical tables, which is what keeps the v3 payload bytes
+    (and everything derived from prefix IDs) bit-identical across run
+    modes.
+    """
+
+    __slots__ = ("values", "_index")
+
+    def __init__(self, values: Sequence[str] = ()):
+        #: Interned prefixes in ID order.  Treat as read-only.
+        self.values: List[str] = list(values)
+        self._index: Dict[str, int] = {value: i for i, value in enumerate(self.values)}
+
+    def intern(self, prefix: str) -> int:
+        """The ID for ``prefix``, assigning the next dense ID if new."""
+        index = self._index.get(prefix)
+        if index is None:
+            index = len(self.values)
+            self.values.append(prefix)
+            self._index[prefix] = index
+        return index
+
+    def get(self, prefix: str) -> Optional[int]:
+        """The ID for ``prefix``, or ``None`` if it was never interned."""
+        return self._index.get(prefix)
+
+    def prefix_for(self, prefix_id: int) -> str:
+        return self.values[prefix_id]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __contains__(self, prefix: object) -> bool:
+        return prefix in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.values)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PrefixTable):
+            return self.values == other.values
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"PrefixTable({len(self.values)} prefixes)"
+
+
+class _DayCountsView(Mapping):
+    """A read-only ``{prefix: count}`` view over one day's count column.
+
+    Semantically identical to the dict the row-oriented code kept —
+    only prefixes with a non-zero count are present — but backed by the
+    shared :class:`CountMatrix` column with no per-call copy.
+    """
+
+    __slots__ = ("_table", "_column", "_length")
+
+    def __init__(self, table: PrefixTable, column: "array"):
+        self._table = table
+        self._column = column
+        self._length: Optional[int] = None
+
+    def __getitem__(self, prefix: str) -> int:
+        prefix_id = self._table.get(prefix)
+        if prefix_id is None or prefix_id >= len(self._column):
+            raise KeyError(prefix)
+        count = self._column[prefix_id]
+        if not count:
+            raise KeyError(prefix)
+        return count
+
+    def __iter__(self) -> Iterator[str]:
+        values = self._table.values
+        for prefix_id, count in enumerate(self._column):
+            if count:
+                yield values[prefix_id]
+
+    def __len__(self) -> int:
+        if self._length is None:
+            self._length = sum(1 for count in self._column if count)
+        return self._length
+
+    def __repr__(self) -> str:
+        return f"_DayCountsView({len(self)} prefixes)"
+
+
+class CountMatrix:
+    """Per-day dense count columns over interned prefix IDs.
+
+    The columnar twin of ``{date: {prefix: count}}``: one
+    ``array('I')`` per day, indexed by :class:`PrefixTable` ID.  A
+    column is as long as the table was when its day was appended;
+    shorter columns implicitly carry zeroes for later prefixes
+    (:meth:`pad` materialises those zeroes in place when an analysis
+    pass wants uniform columns).  Per-day totals are accumulated at
+    append time so ``daily_totals`` never re-sums.
+    """
+
+    __slots__ = ("prefixes", "_columns", "_totals")
+
+    def __init__(self, prefixes: Optional[PrefixTable] = None):
+        self.prefixes = prefixes if prefixes is not None else PrefixTable()
+        self._columns: List[array] = []
+        self._totals: List[int] = []
+
+    # -- building ------------------------------------------------------------
+
+    def append_day(self, counts: Mapping[str, int]) -> None:
+        """Intern ``counts``'s prefixes and append a dense column."""
+        intern = self.prefixes.intern
+        ids = [intern(prefix) for prefix in counts]
+        column = array(_ADDR, bytes(array(_ADDR).itemsize * len(self.prefixes)))
+        total = 0
+        for prefix_id, count in zip(ids, counts.values()):
+            column[prefix_id] = count
+            total += count
+        self._columns.append(column)
+        self._totals.append(total)
+
+    @classmethod
+    def from_day_dicts(cls, day_dicts: Iterable[Mapping[str, int]]) -> "CountMatrix":
+        matrix = cls()
+        for counts in day_dicts:
+            matrix.append_day(counts)
+        return matrix
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def day_count(self) -> int:
+        return len(self._columns)
+
+    def column(self, index: int) -> array:
+        """Day ``index``'s raw column (may be shorter than the table)."""
+        return self._columns[index]
+
+    def count(self, index: int, prefix_id: int) -> int:
+        column = self._columns[index]
+        return column[prefix_id] if prefix_id < len(column) else 0
+
+    def day_total(self, index: int) -> int:
+        return self._totals[index]
+
+    @property
+    def totals(self) -> List[int]:
+        """Per-day totals in day order.  Treat as read-only."""
+        return self._totals
+
+    def day_counts(self, index: int) -> Dict[str, int]:
+        """Day ``index`` as a fresh ``{prefix: count}`` dict (non-zero only)."""
+        values = self.prefixes.values
+        return {
+            values[prefix_id]: count
+            for prefix_id, count in enumerate(self._columns[index])
+            if count
+        }
+
+    def day_view(self, index: int) -> _DayCountsView:
+        """Day ``index`` as a no-copy read-only mapping."""
+        return _DayCountsView(self.prefixes, self._columns[index])
+
+    def row(self, prefix_id: int) -> List[int]:
+        """One prefix's count history across all days."""
+        return [self.count(index, prefix_id) for index in range(len(self._columns))]
+
+    def pad(self) -> List[array]:
+        """Extend every column to the current table size (in place).
+
+        Idempotent; the implied zeroes become explicit so analysis
+        sweeps can ``zip`` columns without bounds checks.
+        """
+        width = len(self.prefixes)
+        itemsize = array(_ADDR).itemsize
+        for column in self._columns:
+            if len(column) < width:
+                column.frombytes(bytes(itemsize * (width - len(column))))
+        return self._columns
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, CountMatrix):
+            return self.day_count == other.day_count and all(
+                self.day_counts(index) == other.day_counts(index)
+                for index in range(self.day_count)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"CountMatrix({self.day_count} days × {len(self.prefixes)} prefixes)"
+
+
+# -- delta/varint codec for count columns ------------------------------------
+#
+# The v3 snapshot payload stores each day's column as the element-wise
+# difference against the previous day's column, zigzag-mapped to
+# unsigned and LEB128-varint-packed into base64.  Day-over-day count
+# changes are small, so almost every delta is a single byte; decoding
+# is one tight pass over bytes instead of re-parsing O(days × prefixes)
+# JSON dict keys.
+
+
+def _encode_varints(values: Iterable[int]) -> bytearray:
+    out = bytearray()
+    append = out.append
+    for value in values:
+        # Zigzag: 0, -1, 1, -2, ... -> 0, 1, 2, 3, ...
+        value = (value << 1) ^ (value >> 63)
+        while value > 0x7F:
+            append((value & 0x7F) | 0x80)
+            value >>= 7
+        append(value)
+    return out
+
+
+def _decode_varints(data: bytes) -> Iterator[int]:
+    value = 0
+    shift = 0
+    for byte in data:
+        value |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            shift += 7
+            continue
+        # Un-zigzag.
+        yield (value >> 1) ^ -(value & 1)
+        value = 0
+        shift = 0
+    if shift:
+        raise ValueError("truncated varint stream")
+
+
+def encode_count_columns(matrix: CountMatrix) -> List[str]:
+    """Delta-encode a matrix's columns into base64 varint strings.
+
+    Each encoded column starts with its own length (columns grow as new
+    prefixes appear), followed by one zigzag varint per element: the
+    difference against the previous day's value (implicitly zero for
+    the first day and for elements past the previous column's end).
+    """
+    encoded: List[str] = []
+    previous: Sequence[int] = ()
+    for index in range(matrix.day_count):
+        column = matrix.column(index)
+        deltas = bytearray(_encode_varints((len(column),)))
+        shared = min(len(column), len(previous))
+        values = [column[i] - previous[i] for i in range(shared)]
+        values.extend(column[shared:])
+        deltas += _encode_varints(values)
+        encoded.append(base64.b64encode(bytes(deltas)).decode("ascii"))
+        previous = column
+    return encoded
+
+
+#: Un-zigzag for single-byte varints: 0, 1, 2, 3 -> 0, -1, 1, -2, ...
+_UNZIGZAG = [(byte >> 1) ^ -(byte & 1) for byte in range(0x80)]
+
+
+def decode_count_columns(
+    prefixes: Sequence[str], encoded: Sequence[str], totals: Optional[Sequence[int]] = None
+) -> CountMatrix:
+    """Rebuild a :class:`CountMatrix` from :func:`encode_count_columns`.
+
+    ``totals`` (the payload's cached per-day sums) skips re-summing on
+    decode; when absent they are recomputed from the columns.
+
+    Day-over-day deltas are small, so after the leading length varint
+    almost every column body is single-byte varints; that common case
+    decodes through a table-lookup comprehension, and delta
+    accumulation runs through :func:`map`/``operator.add`` — both far
+    cheaper than a per-byte Python loop on the warm-cache path.
+    """
+    from operator import add
+
+    matrix = CountMatrix(PrefixTable(prefixes))
+    columns = matrix._columns
+    for index, text in enumerate(encoded):
+        data = base64.b64decode(text)
+        # The leading length varint by hand (lengths routinely exceed
+        # one byte); the remaining body then qualifies for the
+        # single-byte fast path whenever no delta leaves [-63, 63].
+        value = 0
+        shift = 0
+        position = len(data)
+        for position, byte in enumerate(data):
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        else:
+            if not data:
+                raise ValueError("empty count column")
+            raise ValueError("truncated varint stream")
+        length = (value >> 1) ^ -(value & 1)
+        body = data[position + 1:]
+        if not body or max(body) < 0x80:
+            values = [_UNZIGZAG[byte] for byte in body]
+        else:
+            values = list(_decode_varints(body))
+        if len(values) != length:
+            raise ValueError(
+                f"count column {index} declares {length} entries, decoded {len(values)}"
+            )
+        previous = columns[-1] if columns else ()
+        if previous:
+            # Deltas are signed; only the reconstructed counts fit the
+            # unsigned column array, so accumulate before materialising.
+            # map() stops at the shorter operand — exactly the span the
+            # two columns share — and new prefixes keep their raw value.
+            merged = list(map(add, values, previous))
+            merged.extend(values[len(previous):])
+            values = merged
+        columns.append(array(_ADDR, values))
+        matrix._totals.append(
+            totals[index] if totals is not None else sum(values)
+        )
+    return matrix
 
 
 def _merge_entries(stream, order: int):

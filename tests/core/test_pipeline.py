@@ -57,6 +57,32 @@ class TestLeakStage:
             value for key, value in breakdown.items() if key is not NetworkType.ACADEMIC
         )
 
+    def test_single_derivation_pass(self, monkeypatch):
+        # The leak stage must build its sample in one shared pass, not
+        # re-walk records_on once per sample day.
+        from repro.scan.snapshot import SnapshotSeries
+
+        fresh = ReproductionStudy(StudyConfig.quick(seed=1))
+        series = fresh.daily_series()
+        calls = []
+        original = SnapshotSeries.records_on
+        monkeypatch.setattr(
+            SnapshotSeries,
+            "records_on",
+            lambda self, day: calls.append(day) or original(self, day),
+        )
+        fresh.leaks()
+        assert calls == []
+        metrics = series.last_sample_metrics
+        assert metrics is not None
+        assert metrics.days == fresh.config.leak_sample_days
+        assert metrics.unique_records <= metrics.raw_records
+
+    def test_leak_report_identical_with_workers(self, study):
+        parallel = ReproductionStudy(StudyConfig.quick(seed=1))
+        parallel.config.snapshot_workers = 4
+        assert parallel.leaks() == study.leaks()
+
 
 class TestSupplementalStage:
     def test_groups_and_funnel_consistent(self, study):

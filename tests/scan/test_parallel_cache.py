@@ -12,6 +12,7 @@ from repro.scan.parallel import (
     chunk_days,
     collect_days,
     effective_workers,
+    sample_day_records,
 )
 
 START = dt.date(2021, 3, 1)
@@ -88,6 +89,55 @@ class TestParallelEquivalence:
         collector = SnapshotCollector.openintel_style(world.internet)
         with pytest.raises(ValueError):
             collect_days(collector, [START], workers=1)
+
+
+class TestRecordSampling:
+    # sample_day_records is driven directly for the same reason as
+    # collect_days above: sample_records()'s never-slower cap would
+    # keep single-core hosts serial and leave the pool path untested.
+
+    def test_pool_sample_bit_identical_to_serial(self, serial_series):
+        serial = [
+            record
+            for day in serial_series.days
+            for record in serial_series.records_on(day)
+        ]
+        pooled = sample_day_records(
+            serial_series._internet,
+            serial_series._network_names,
+            serial_series.days,
+            at_offset=serial_series._at_offset,
+            workers=3,
+        )
+        assert pooled == serial
+
+    def test_sample_records_dedups_first_seen(self, serial_series):
+        sample = serial_series.sample_records()
+        assert len(sample) == len(set(sample))
+        metrics = serial_series.last_sample_metrics
+        assert metrics.unique_records == len(sample)
+        assert metrics.raw_records >= metrics.unique_records
+        # First-seen order: the first raw occurrence of each record wins.
+        seen = set()
+        expected = []
+        for day in serial_series.days:
+            for record in serial_series.records_on(day):
+                if record not in seen:
+                    seen.add(record)
+                    expected.append(record)
+        assert sample == expected
+
+    def test_sample_records_rejects_uncollected_day(self, serial_series):
+        with pytest.raises(KeyError):
+            serial_series.sample_records([END + dt.timedelta(days=10)])
+
+    def test_sample_day_subset(self, serial_series):
+        tail = serial_series.days[-3:]
+        sample = serial_series.sample_records(tail)
+        assert serial_series.last_sample_metrics.days == 3
+        assert set(sample) == {
+            record for day in tail for record in serial_series.records_on(day)
+        }
 
 
 class TestEffectiveWorkers:

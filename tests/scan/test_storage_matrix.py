@@ -1,0 +1,163 @@
+"""Unit tests for the columnar count store and its payload codec."""
+
+import datetime as dt
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.internet import WorldScale, build_world
+from repro.scan import SnapshotCache, SnapshotCollector
+from repro.scan.snapshot import SnapshotSeries, legacy_dict_payload
+from repro.scan.storage import (
+    DATASET_FORMAT_VERSION,
+    CountMatrix,
+    PrefixTable,
+    decode_count_columns,
+    encode_count_columns,
+)
+
+START = dt.date(2021, 3, 1)
+
+
+class TestPrefixTable:
+    def test_dense_first_seen_ids(self):
+        table = PrefixTable()
+        assert table.intern("10.0.0.0/24") == 0
+        assert table.intern("10.0.1.0/24") == 1
+        assert table.intern("10.0.0.0/24") == 0  # idempotent
+        assert len(table) == 2
+        assert table.prefix_for(1) == "10.0.1.0/24"
+        assert table.get("10.0.1.0/24") == 1
+        assert table.get("10.9.9.0/24") is None
+        assert "10.0.0.0/24" in table
+        assert list(table) == ["10.0.0.0/24", "10.0.1.0/24"]
+
+    def test_equality_is_order_sensitive(self):
+        assert PrefixTable(["a", "b"]) == PrefixTable(["a", "b"])
+        assert PrefixTable(["a", "b"]) != PrefixTable(["b", "a"])
+
+
+class TestCountMatrix:
+    def test_day_counts_match_input(self):
+        matrix = CountMatrix.from_day_dicts(
+            [{"a": 3, "b": 1}, {"b": 2}, {"c": 5, "a": 1}]
+        )
+        assert matrix.day_count == 3
+        assert matrix.day_counts(0) == {"a": 3, "b": 1}
+        assert matrix.day_counts(1) == {"b": 2}
+        assert matrix.day_counts(2) == {"c": 5, "a": 1}
+        assert matrix.totals == [4, 2, 6]
+
+    def test_absent_prefix_reads_zero(self):
+        matrix = CountMatrix.from_day_dicts([{"a": 3}, {"b": 2}])
+        # "b" was unknown on day 0: its column is shorter than the table.
+        assert matrix.count(0, matrix.prefixes.get("b")) == 0
+        assert matrix.row(matrix.prefixes.get("b")) == [0, 2]
+
+    def test_day_view_matches_dict(self):
+        matrix = CountMatrix.from_day_dicts([{"a": 3, "b": 1}, {"b": 2}])
+        view = matrix.day_view(0)
+        assert dict(view) == matrix.day_counts(0)
+        assert view["a"] == 3
+        assert len(view) == 2
+        with pytest.raises(KeyError):
+            view["b-day-two-only"]
+        # Zero counts are absent from the view, like the dict accessor.
+        assert "a" not in matrix.day_view(1)
+
+    def test_pad_is_idempotent_and_lossless(self):
+        matrix = CountMatrix.from_day_dicts([{"a": 3}, {"b": 2}])
+        before = [matrix.day_counts(index) for index in range(matrix.day_count)]
+        matrix.pad()
+        matrix.pad()
+        assert len(matrix.column(0)) == len(matrix.prefixes)
+        assert [matrix.day_counts(index) for index in range(matrix.day_count)] == before
+
+
+class TestColumnCodec:
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.sampled_from([f"10.0.{index}.0/24" for index in range(8)]),
+                st.integers(min_value=0, max_value=300),
+                max_size=8,
+            ),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    def test_roundtrip_property(self, day_dicts):
+        matrix = CountMatrix.from_day_dicts(day_dicts)
+        encoded = encode_count_columns(matrix)
+        decoded = decode_count_columns(list(matrix.prefixes), encoded)
+        assert decoded == matrix
+        assert decoded.totals == matrix.totals
+
+    def test_encoding_is_json_safe_strings(self):
+        matrix = CountMatrix.from_day_dicts([{"a": 1 << 30}, {"a": 0}])
+        encoded = encode_count_columns(matrix)
+        assert all(isinstance(column, str) for column in encoded)
+        json.dumps(encoded)
+
+    def test_truncated_column_rejected(self):
+        matrix = CountMatrix.from_day_dicts([{"a": 7, "b": 9}])
+        encoded = encode_count_columns(matrix)
+        with pytest.raises(ValueError):
+            decode_count_columns(["a", "b"], [encoded[0][: len(encoded[0]) // 2]])
+
+
+class TestPayloadMigration:
+    @pytest.fixture(scope="class")
+    def series(self):
+        world = build_world(seed=4, scale=WorldScale.small())
+        return SnapshotCollector.openintel_style(world.internet).collect(
+            START, START + dt.timedelta(days=4)
+        )
+
+    def test_v3_roundtrip(self, series):
+        payload = series.to_payload()
+        assert payload["version"] == DATASET_FORMAT_VERSION
+        rebuilt = SnapshotSeries.from_payload(payload, series._internet)
+        assert rebuilt.days == series.days
+        for day in series.days:
+            assert rebuilt.counts_by_slash24(day) == series.counts_by_slash24(day)
+        assert rebuilt.daily_totals() == series.daily_totals()
+        assert rebuilt.stats() == series.stats()
+
+    def test_v2_payload_still_decodes(self, series):
+        legacy = legacy_dict_payload(series)
+        assert legacy.get("version", 2) == 2
+        rebuilt = SnapshotSeries.from_payload(legacy, series._internet)
+        for day in series.days:
+            assert rebuilt.counts_by_slash24(day) == series.counts_by_slash24(day)
+        # Day-order interning makes the migrated table — and therefore
+        # the re-encoded v3 payload bytes — identical to a native run.
+        assert rebuilt.prefix_table() == series.prefix_table()
+        assert json.dumps(rebuilt.to_payload(), sort_keys=True) == json.dumps(
+            series.to_payload(), sort_keys=True
+        )
+
+    def test_cache_entry_migrates_on_read(self, tmp_path, series):
+        world = build_world(seed=4, scale=WorldScale.small())
+        collector = SnapshotCollector.openintel_style(world.internet)
+        cache = SnapshotCache(tmp_path)
+        end = START + dt.timedelta(days=4)
+        # Plant a legacy v2 payload under the real cache key.
+        cold = collector.collect(START, end, cache=cache)
+        key = collector.last_metrics.cache_key
+        cache.store(key, legacy_dict_payload(cold))
+
+        warm = collector.collect(START, end, cache=cache)
+        assert collector.last_metrics.cache_hit
+        assert collector.last_metrics.cache_migrated
+        for day in cold.days:
+            assert warm.counts_by_slash24(day) == cold.counts_by_slash24(day)
+        # The entry was rewritten columnar: the next read is a plain v3 hit.
+        stored = json.loads(cache.path_for(key).read_text())
+        assert stored["version"] == DATASET_FORMAT_VERSION
+        again = collector.collect(START, end, cache=cache)
+        assert collector.last_metrics.cache_hit
+        assert not collector.last_metrics.cache_migrated
+        assert again.stats() == cold.stats()
