@@ -9,7 +9,11 @@
 * ``track``    — follow a given name's devices (Section 7.1);
 * ``heist``    — recommend the quietest hour (Section 7.3);
 * ``audit``    — grade each network's rDNS exposure (Section 8);
-* ``snapshot`` — dump one day's PTR records, OpenINTEL-style.
+* ``snapshot`` — dump one day's PTR records, OpenINTEL-style;
+* ``serve``    — the long-running leak-analysis query service
+  (:mod:`repro.serve`): per-prefix dynamicity, leak verdicts, name
+  counts and occupancy over HTTP, with ``POST /ingest/day`` folding
+  new snapshot days in incrementally.
 
 (``supplemental`` is an alias for ``campaign``, matching the paper's
 name for the measurement.)
@@ -51,6 +55,27 @@ def _parse_date(text: str) -> dt.date:
         return dt.date.fromisoformat(text)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(f"invalid date {text!r} (want YYYY-MM-DD)") from exc
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid integer {text!r}") from exc
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer (got {value})")
+    return value
+
+
+def _is_cadence_error(error: ValueError) -> bool:
+    """Does this ValueError describe irregular snapshot spacing?
+
+    Matches both `_infer_cadence`'s mixed-spacing complaint and the
+    ingest-time cadence contract violations raised by
+    ``SnapshotSeries`` / ``IncrementalDynamicityAnalyzer``.
+    """
+    text = str(error)
+    return "mixed snapshot spacing" in text or "contradicts the declared cadence" in text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,7 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     study.add_argument(
         "--leak-sample-days",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
         help=(
@@ -214,6 +239,19 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("--network", default=None, help="restrict to one network")
     snapshot.add_argument("--limit", type=int, default=50)
 
+    serve = commands.add_parser(
+        "serve", help="run the leak-analysis query service (HTTP, Ctrl-C to stop)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8400, help="bind port (default 8400)")
+    serve.add_argument(
+        "--leak-sample-days",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="trailing collected days feeding /leaks and /names (default 7)",
+    )
+
     return parser
 
 
@@ -269,19 +307,29 @@ def _print_campaign_timings(campaign: SupplementalCampaign, out) -> None:
         print(f"[timings] campaign cache {outcome} (key {metrics.cache_key[:12]}…)", file=out)
 
 
-def cmd_study(args, out) -> int:
+def _study_config(args) -> StudyConfig:
+    """One StudyConfig from the shared flags (study and serve)."""
     config = StudyConfig.quick(args.seed) if args.quick else StudyConfig(seed=args.seed)
     config.snapshot_workers = args.workers
     config.snapshot_cache = _snapshot_cache(args)
     config.campaign_workers = args.workers
     config.campaign_cache = _campaign_cache(args)
     config.fault_plan = _fault_plan(args)
-    if args.leak_sample_days is not None:
-        if args.leak_sample_days < 1:
-            raise ValueError("--leak-sample-days must be at least 1")
+    if getattr(args, "leak_sample_days", None) is not None:
         config.leak_sample_days = args.leak_sample_days
+    return config
+
+
+def cmd_study(args, out) -> int:
+    config = _study_config(args)
     study = ReproductionStudy(config, obs=_obs(args))
-    report = study.dynamicity()
+    try:
+        report = study.dynamicity()
+    except ValueError as error:
+        if not _is_cadence_error(error):
+            raise
+        print(f"error: irregular snapshot series — {error}", file=sys.stderr)
+        return 2
     print(
         f"Dynamicity ({config.dynamicity_start} .. {config.dynamicity_end}): "
         f"{report.dynamic_count} of {report.total_observed} observed /24s are dynamic",
@@ -325,9 +373,15 @@ def cmd_campaign(args, out) -> int:
     campaign = SupplementalCampaign(
         world, networks=args.networks, fault_plan=plan, obs=obs
     )
-    dataset = campaign.run(
-        args.start, args.end, workers=args.workers, cache=_campaign_cache(args)
-    )
+    try:
+        dataset = campaign.run(
+            args.start, args.end, workers=args.workers, cache=_campaign_cache(args)
+        )
+    except ValueError as error:
+        if not _is_cadence_error(error):
+            raise
+        print(f"error: irregular snapshot series — {error}", file=sys.stderr)
+        return 2
     icmp_total, icmp_unique = dataset.icmp_stats()
     rdns_total, rdns_unique, rdns_ptrs = dataset.rdns_stats()
     print(
@@ -475,8 +529,41 @@ def cmd_audit(args, out) -> int:
     return 0
 
 
+def cmd_serve(args, out) -> int:
+    from repro.serve import build_app, run_app
+
+    config = _study_config(args)
+    # build_app derives the world from config (seed + scale) itself;
+    # only a --spec world needs to be built here and handed over.
+    world = build_world_from_file(args.spec) if args.spec else None
+    obs = _obs(args)
+    print(
+        f"collecting {config.dynamicity_start}..{config.dynamicity_end} "
+        f"(seed {args.seed}) ...",
+        file=out,
+        flush=True,
+    )
+    try:
+        app = build_app(config, world=world, obs=obs)
+    except ValueError as error:
+        if not _is_cadence_error(error):
+            raise
+        print(f"error: irregular snapshot series — {error}", file=sys.stderr)
+        return 2
+    repo = app.services.dynamicity.snapshots
+    print(
+        f"serving {repo.day_count} day(s), {len(repo.prefix_table())} /24 "
+        f"prefix(es) on http://{args.host}:{args.port} (Ctrl-C to stop)",
+        file=out,
+        flush=True,
+    )
+    run_app(app, args.host, args.port)
+    return 0
+
+
 _COMMANDS = {
     "study": cmd_study,
+    "serve": cmd_serve,
     "audit": cmd_audit,
     "campaign": cmd_campaign,
     "supplemental": cmd_campaign,

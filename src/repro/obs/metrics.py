@@ -38,9 +38,33 @@ Number = Union[int, float]
 DEFAULT_BUCKETS: Tuple[Number, ...] = (1, 2, 3, 5, 8, 13, 21)
 
 
+def _escape_label_component(text: object) -> str:
+    """Escape a label name or value for use inside a child key.
+
+    ``%`` first (it is the escape introducer), then the two structural
+    characters of the key syntax.  The mapping is injective, so two
+    distinct label dicts can never produce the same key — previously
+    ``labels(a="1,b=2")`` and ``labels(a="1", b="2")`` both flattened
+    to ``a=1,b=2`` and silently merged their counts.
+    """
+    return (
+        str(text).replace("%", "%25").replace("=", "%3D").replace(",", "%2C")
+    )
+
+
 def _label_key(labels: Dict[str, object]) -> str:
-    """Canonical child key: ``k1=v1,k2=v2`` with sorted label names."""
-    return ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    """Canonical child key: ``k1=v1,k2=v2`` with sorted label names.
+
+    Values (and names) are escaped via :func:`_escape_label_component`
+    so a value containing ``,`` or ``=`` cannot be confused with
+    additional labels; keys remain deterministic — sorted by the *raw*
+    label name — and stable across runs, so snapshot payloads merge
+    exactly as before for label values without structural characters.
+    """
+    return ",".join(
+        f"{_escape_label_component(key)}={_escape_label_component(labels[key])}"
+        for key in sorted(labels)
+    )
 
 
 class Counter:

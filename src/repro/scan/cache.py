@@ -91,6 +91,10 @@ class _JsonFileCache:
         self.misses = 0
         self.stores = 0
         self.corrupt_entries = 0
+        #: ``*.tmp`` files unlinked after a failed store — non-zero
+        #: means a serialisation or rename raised mid-write and the
+        #: partial file was cleaned up rather than leaked.
+        self.tmp_cleanups = 0
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
@@ -122,23 +126,34 @@ class _JsonFileCache:
         return payload
 
     def store(self, key: str, payload: dict) -> pathlib.Path:
-        """Atomically persist a payload (write-temp-then-rename)."""
+        """Atomically persist a payload (write-temp-then-rename).
+
+        Any failure between creating the temp file and the atomic
+        ``os.replace`` — unserialisable payload, full disk, the rename
+        itself — unlinks the partial ``*.tmp`` file (counted in
+        :attr:`tmp_cleanups`) before the exception propagates, so a
+        failed store can never leak temp files into the cache root.
+        :attr:`stores` counts *successful* stores only.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
-        self.stores += 1
         path = self.path_for(key)
         handle = tempfile.NamedTemporaryFile(
             "w", dir=self.root, suffix=".tmp", delete=False, encoding="utf-8"
         )
+        committed = False
         try:
             with handle:
                 json.dump(payload, handle)
             os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+            committed = True
+        finally:
+            if not committed:
+                self.tmp_cleanups += 1
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+        self.stores += 1
         return path
 
     # -- invalidation --------------------------------------------------------
@@ -189,6 +204,7 @@ class _JsonFileCache:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt_entries": self.corrupt_entries,
+            "tmp_cleanups": self.tmp_cleanups,
         }
 
     def export_metrics(self, obs, *, section: str, baseline: Optional[dict] = None) -> None:

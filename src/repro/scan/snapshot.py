@@ -75,6 +75,10 @@ class CollectionMetrics:
     #: True when a legacy (pre-columnar) payload was decoded and the
     #: entry was transparently rewritten in the v3 format.
     cache_migrated: bool = False
+    #: True when a cache store failed mid-write (its partial ``*.tmp``
+    #: file was cleaned up — see ``_JsonFileCache.tmp_cleanups``); the
+    #: collection itself still succeeded, only persistence was lost.
+    cache_store_failed: bool = False
     simulate_seconds: float = 0.0
     total_seconds: float = 0.0
 
@@ -576,8 +580,13 @@ class SnapshotCollector:
                 if payload.get("version", 2) < DATASET_FORMAT_VERSION:
                     # Transparent migration: rewrite the legacy entry
                     # columnar so the next warm read skips dict parsing.
-                    cache.store(key, series.to_payload())
-                    metrics.cache_migrated = True
+                    # Best-effort — the decoded series is already good,
+                    # so a failed rewrite only costs the fast path.
+                    try:
+                        cache.store(key, series.to_payload())
+                        metrics.cache_migrated = True
+                    except (OSError, TypeError, ValueError):
+                        metrics.cache_store_failed = True
                 metrics.total_seconds = time.perf_counter() - started
                 return series
 
@@ -602,7 +611,12 @@ class SnapshotCollector:
         metrics.responses = series.stats().total_responses if days else 0
 
         if cache is not None and key is not None:
-            cache.store(key, series.to_payload())
-            metrics.cache_stored = True
+            # Best-effort: losing the cache write (full disk, bad
+            # payload) must not lose the freshly collected series.
+            try:
+                cache.store(key, series.to_payload())
+                metrics.cache_stored = True
+            except (OSError, TypeError, ValueError):
+                metrics.cache_store_failed = True
         metrics.total_seconds = time.perf_counter() - started
         return series

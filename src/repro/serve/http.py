@@ -1,0 +1,208 @@
+"""Minimal asyncio HTTP/1.1 transport for the query service.
+
+Deliberately dependency-free: request-line/header parsing and JSON
+response framing over :func:`asyncio.start_server`, nothing more.  The
+transport knows nothing about routes — it decodes one request, hands
+``(method, path, query, body)`` to the app's synchronous ``dispatch``
+and frames whatever ``(status, payload)`` comes back.  Keep-alive
+follows HTTP/1.1 defaults (persistent unless ``Connection: close``).
+
+Two ways to run it:
+
+* :func:`run_app` — blocking, for the ``repro serve`` CLI subcommand;
+* :class:`ServerThread` — the event loop on a daemon thread with an
+  ephemeral port, for tests and the load benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: Upper bound on request bodies; ingest payloads are small.
+MAX_BODY_BYTES = 8 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def encode_response(status: int, payload: dict, *, close: bool) -> bytes:
+    """Frame one JSON response (sorted keys, so bytes are deterministic)."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, str, dict, bytes]]:
+    """One request off the wire, or ``None`` on a clean disconnect.
+
+    Raises :class:`ValueError` on malformed framing — the connection
+    handler answers 400 and closes.
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, target, version = request_line.decode("latin-1").strip().split(" ", 2)
+    except ValueError as error:
+        raise ValueError("malformed request line") from error
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise ValueError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError as error:
+        raise ValueError("malformed Content-Length") from error
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ValueError(f"unacceptable Content-Length {length}")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, version, headers, body
+
+
+async def handle_connection(app, reader, writer) -> None:
+    """Serve one client connection until it closes (keep-alive loop)."""
+    try:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except ValueError as error:
+                writer.write(encode_response(400, {"error": str(error)}, close=True))
+                await writer.drain()
+                break
+            if request is None:
+                break
+            method, target, version, headers, body = request
+            split = urlsplit(target)
+            path = unquote(split.path)
+            query = {
+                key: values[-1] for key, values in parse_qs(split.query).items()
+            }
+            status, payload = app.dispatch(method, path, query=query, body=body)
+            close = (
+                version != "HTTP/1.1"
+                or headers.get("connection", "").lower() == "close"
+            )
+            writer.write(encode_response(status, payload, close=close))
+            await writer.drain()
+            if close:
+                break
+    except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
+        pass  # client went away mid-request; nothing to answer
+    except asyncio.CancelledError:
+        pass  # server shutting down (SIGINT) with the connection open
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+
+
+async def serve_app(app, host: str, port: int, *, ready=None, stop=None) -> int:
+    """Run the server until ``stop`` (an :class:`asyncio.Event`) fires.
+
+    ``ready``, when given, is called with the bound port once the
+    socket is listening — :class:`ServerThread` uses it to publish the
+    ephemeral port.  Runs forever when ``stop`` is ``None``.
+    """
+    server = await asyncio.start_server(
+        lambda reader, writer: handle_connection(app, reader, writer), host, port
+    )
+    bound_port = server.sockets[0].getsockname()[1]
+    if ready is not None:
+        ready(bound_port)
+    async with server:
+        if stop is None:
+            await server.serve_forever()
+        else:
+            await stop.wait()
+    return bound_port
+
+
+def run_app(app, host: str = "127.0.0.1", port: int = 8400) -> None:
+    """Blocking entry point for the CLI (Ctrl-C to stop)."""
+    try:
+        asyncio.run(serve_app(app, host, port))
+    except KeyboardInterrupt:
+        pass
+
+
+class ServerThread:
+    """The service on a daemon thread — tests and benchmarks drive it.
+
+    Binds an ephemeral port by default (``port=0``); :attr:`port` and
+    :attr:`base_url` are valid once :meth:`start` returns.  Usable as a
+    context manager.
+    """
+
+    def __init__(self, app, host: str = "127.0.0.1", port: int = 0):
+        self.app = app
+        self.host = host
+        self.port = port
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("serve thread failed to bind within 30s")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+
+        def publish(port: int) -> None:
+            self.port = port
+            self._ready.set()
+
+        await serve_app(
+            self.app, self.host, self.port, ready=publish, stop=self._stop
+        )
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

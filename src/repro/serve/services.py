@@ -1,0 +1,460 @@
+"""Domain logic for the query service.
+
+Each service owns one analysis surface and talks to storage only
+through the repositories (:mod:`repro.serve.repositories`):
+
+* :class:`DynamicityService` — per-prefix and whole-window dynamicity,
+  backed by an :class:`~repro.core.dynamicity.IncrementalDynamicityAnalyzer`
+  seeded from the collected series.  :meth:`DynamicityService.ingest`
+  folds one new snapshot day in at O(prefixes) — the incremental-ingest
+  contract — and its report stays bit-identical to a full
+  :class:`~repro.core.dynamicity.DynamicityAnalyzer` recompute over the
+  extended series (pinned by ``tests/serve/test_ingest_parity.py``).
+* :class:`LeakService` / :class:`NamesService` — the Section 5
+  drill-down (leak verdicts, given-name and device-term hits) over the
+  trailing sample window.
+* :class:`OccupancyService` — daily occupancy curves from the count
+  matrix, plus hourly curves replayed from the campaign repository.
+
+Derived reports are memoised against the series length: every GET is a
+cache hit until the next ingest grows the window, and the hit/miss
+traffic is counted in the shared metrics registry
+(``serve_report_cache_total``).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Callable, List, Mapping, Optional, TypeVar
+
+from repro.core.dynamicity import (
+    DynamicityReport,
+    DynamicityThresholds,
+    IncrementalDynamicityAnalyzer,
+)
+from repro.core.leaks import LeakIdentifier, LeakReport, LeakThresholds
+from repro.core.names import GivenNameMatcher
+from repro.core.occupancy import hourly_activity
+from repro.obs import Observability, resolve_obs
+from repro.serve.repositories import (
+    CampaignRepository,
+    SnapshotRepository,
+    normalise_slash24,
+)
+
+T = TypeVar("T")
+
+
+class ServiceError(Exception):
+    """A domain error carrying the HTTP status the handler should map it to."""
+
+    def __init__(self, status: int, message: str, **detail):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.detail = dict(detail)
+
+    def payload(self) -> dict:
+        payload = {"error": self.message}
+        payload.update(self.detail)
+        return payload
+
+
+def dynamicity_summary(report: DynamicityReport) -> dict:
+    """The canonical JSON shape of one dynamicity verdict.
+
+    Shared by the incremental path (ingest responses, ``/prefix``
+    fallbacks) and the batch-recompute parity tests: two reports are
+    bit-identical exactly when these payloads are.
+    """
+    return {
+        "total_observed": report.total_observed,
+        "dynamic_count": report.dynamic_count,
+        "eligible_count": len(report.prefixes),
+        "cadence_days": report.cadence_days,
+        "effective_min_change_transitions": report.effective_min_change_transitions,
+        "dynamic_prefixes": report.dynamic_prefixes(),
+        "thresholds": {
+            "min_daily_addresses": report.thresholds.min_daily_addresses,
+            "change_percent": report.thresholds.change_percent,
+            "min_change_days": report.thresholds.min_change_days,
+        },
+    }
+
+
+class _MemoCell:
+    """One length-versioned memo with hit/miss accounting.
+
+    The cached value stays valid while the series holds the same
+    number of days; an ingest bumps the length and naturally expires
+    every cell.  Hits and misses land in the shared
+    ``serve_report_cache_total`` counter, labelled per report, so the
+    warm-path behaviour is observable (and benchmarkable).
+    """
+
+    __slots__ = ("_name", "_version", "_value")
+
+    def __init__(self, name: str):
+        self._name = name
+        self._version: Optional[int] = None
+        self._value = None
+
+    def get(self, version: int, compute: Callable[[], T], obs: Observability) -> T:
+        outcome = "hit" if self._version == version else "miss"
+        obs.metrics.counter("serve_report_cache_total").labels(
+            report=self._name, outcome=outcome
+        ).inc()
+        if outcome == "miss":
+            self._value = compute()
+            self._version = version
+        return self._value
+
+
+class DynamicityService:
+    """Per-prefix dynamicity plus the one-day-at-a-time ingest path."""
+
+    def __init__(
+        self,
+        snapshots: SnapshotRepository,
+        *,
+        thresholds: Optional[DynamicityThresholds] = None,
+        obs: Optional[Observability] = None,
+    ):
+        self.snapshots = snapshots
+        self.thresholds = thresholds or DynamicityThresholds()
+        self.obs = resolve_obs(obs)
+        self._analyzer = IncrementalDynamicityAnalyzer(
+            self.thresholds, cadence_days=snapshots.cadence_days
+        )
+        # Seed the incremental state by replaying the collected window
+        # day by day — O(prefixes) per day, same as live ingest.
+        for day in snapshots.days:
+            self._analyzer.ingest(day, snapshots.counts_view(day))
+        self._report = _MemoCell("dynamicity")
+
+    # -- reads ----------------------------------------------------------------
+
+    def report(self) -> DynamicityReport:
+        return self._report.get(
+            self.snapshots.day_count, self._analyzer.report, self.obs
+        )
+
+    def summary(self) -> dict:
+        return dynamicity_summary(self.report())
+
+    def prefix_payload(self, raw_prefix: str, *, include_history: bool = False) -> dict:
+        """The verdict for one /24, 404-ing with actionable detail."""
+        try:
+            prefix = normalise_slash24(raw_prefix)
+        except ValueError as error:
+            raise ServiceError(400, f"invalid /24 prefix: {error}") from error
+        history = self.snapshots.history(prefix)
+        if history is None:
+            raise ServiceError(
+                404,
+                f"prefix {prefix} was never observed",
+                prefix=prefix,
+                observed_prefixes=len(self.snapshots.prefix_table()),
+            )
+        report = self.report()
+        info = report.prefixes.get(prefix)
+        payload = {
+            "prefix": prefix,
+            "days": self.snapshots.day_count,
+            "cadence_days": report.cadence_days,
+            "max_daily": max(history) if history else 0,
+            # Prefixes below the min-daily floor are discarded by step 1
+            # of the heuristic and carry no change evidence.
+            "eligible": info is not None,
+            "is_dynamic": info.is_dynamic if info is not None else False,
+            "change_days": info.change_days if info is not None else None,
+            "observed_days": info.observed_days if info is not None else None,
+            "effective_min_change_transitions": report.effective_min_change_transitions,
+        }
+        if include_history:
+            payload["history"] = {
+                "days": [day.isoformat() for day in self.snapshots.days],
+                "counts": history,
+            }
+        return payload
+
+    # -- the incremental-ingest contract --------------------------------------
+
+    def ingest(
+        self, day: dt.date, counts: Optional[Mapping[str, int]] = None
+    ) -> dict:
+        """Fold one snapshot day in and return the updated verdict.
+
+        ``counts`` defaults to deriving the day from the simulated
+        world (the production path — a new OpenINTEL-style snapshot
+        lands); an explicit mapping supports external feeds.  The day
+        must extend the window at the declared cadence: both the series
+        and the analyzer enforce it, and the precondition is checked
+        *before* either is mutated so a rejected ingest leaves no
+        torn state.
+        """
+        expected = self.snapshots.next_day
+        if expected is not None and day != expected:
+            raise ServiceError(
+                409,
+                f"day {day.isoformat()} does not extend the window: the "
+                f"{self.snapshots.cadence_days}-day cadence expects "
+                f"{expected.isoformat()} next",
+                expected_day=expected.isoformat(),
+                last_day=self.snapshots.days[-1].isoformat(),
+            )
+        if counts is None:
+            column = self.snapshots.append_derived_day(day)
+        else:
+            for prefix, count in counts.items():
+                if not isinstance(count, int) or count < 0:
+                    raise ServiceError(
+                        400, f"count for {prefix!r} must be a non-negative integer"
+                    )
+            column = self.snapshots.append_counts(
+                day, {normalise_slash24(prefix): count for prefix, count in counts.items()}
+            )
+        self._analyzer.ingest(day, column)
+        self.obs.metrics.counter("serve_ingested_days_total").inc()
+        summary = self.summary()
+        return {
+            "ingested": day.isoformat(),
+            "days": self.snapshots.day_count,
+            "day_responses": self.snapshots.matrix().day_total(
+                self.snapshots.day_count - 1
+            ),
+            "dynamicity": summary,
+        }
+
+
+class LeakService:
+    """Leak verdicts over the trailing sample window (Section 5)."""
+
+    def __init__(
+        self,
+        snapshots: SnapshotRepository,
+        dynamicity: DynamicityService,
+        *,
+        thresholds: Optional[LeakThresholds] = None,
+        sample_days: int = 7,
+        matcher: Optional[GivenNameMatcher] = None,
+        obs: Optional[Observability] = None,
+    ):
+        if sample_days < 1:
+            raise ValueError("sample_days must be at least 1")
+        self.snapshots = snapshots
+        self.dynamicity = dynamicity
+        self.sample_days = sample_days
+        self.obs = resolve_obs(obs)
+        self._identifier = LeakIdentifier(
+            matcher or GivenNameMatcher(),
+            thresholds or LeakThresholds(min_unique_names=6, min_ratio=0.1),
+        )
+        self._report = _MemoCell("leaks")
+
+    def report(self) -> LeakReport:
+        return self._report.get(self.snapshots.day_count, self._compute, self.obs)
+
+    def _compute(self) -> LeakReport:
+        dynamic = set(self.dynamicity.report().dynamic_prefixes())
+        days = self.snapshots.days[-self.sample_days:]
+        records = self.snapshots.sample_records(days)
+        return self._identifier.identify(records, dynamic)
+
+    def sample_window(self) -> List[str]:
+        return [day.isoformat() for day in self.snapshots.days[-self.sample_days:]]
+
+    def payload(self, *, suffix: Optional[str] = None) -> dict:
+        report = self.report()
+        if suffix is not None:
+            stats = report.suffix_stats.get(suffix)
+            if stats is None:
+                raise ServiceError(
+                    404,
+                    f"suffix {suffix!r} holds no name-matching records in "
+                    "the sample window",
+                    known_suffixes=sorted(report.suffix_stats),
+                )
+            return {
+                "suffix": suffix,
+                "identified": suffix in report.identified,
+                "records": stats.records,
+                "unique_names": stats.unique_name_count,
+                "ratio": stats.ratio,
+            }
+        return {
+            "identified": report.identified,
+            "sample_days": self.sample_window(),
+            "thresholds": {
+                "min_unique_names": report.thresholds.min_unique_names,
+                "min_ratio": report.thresholds.min_ratio,
+            },
+            "suffixes": {
+                name: {
+                    "records": stats.records,
+                    "unique_names": stats.unique_name_count,
+                    "ratio": stats.ratio,
+                    "identified": name in report.identified,
+                }
+                for name, stats in sorted(report.suffix_stats.items())
+            },
+        }
+
+
+class NamesService:
+    """Given-name and device-term hit counts (Figures 2-3)."""
+
+    def __init__(self, leaks: LeakService):
+        self.leaks = leaks
+
+    @staticmethod
+    def _ranked(counter, top: Optional[int]) -> List[List[object]]:
+        ranked = sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+        if top is not None:
+            ranked = ranked[:top]
+        return [[name, count] for name, count in ranked]
+
+    def payload(self, *, top: Optional[int] = None) -> dict:
+        if top is not None and top < 1:
+            raise ServiceError(400, "top must be a positive integer")
+        report = self.leaks.report()
+        return {
+            "sample_days": self.leaks.sample_window(),
+            "names": {
+                "all": self._ranked(report.all_name_counts, top),
+                "identified": self._ranked(report.filtered_name_counts, top),
+            },
+            "device_terms": {
+                "all": self._ranked(report.all_device_term_counts, top),
+                "identified": self._ranked(report.filtered_device_term_counts, top),
+            },
+        }
+
+
+class OccupancyService:
+    """Occupancy curves: daily from the count matrix, hourly on demand."""
+
+    def __init__(
+        self,
+        snapshots: SnapshotRepository,
+        campaigns: Optional[CampaignRepository] = None,
+        *,
+        obs: Optional[Observability] = None,
+    ):
+        self.snapshots = snapshots
+        self.campaigns = campaigns
+        self.obs = resolve_obs(obs)
+        self._daily = _MemoCell("occupancy")
+
+    def daily_payload(self, *, prefix: Optional[str] = None) -> dict:
+        if prefix is not None:
+            return self._prefix_payload(prefix)
+        return self._daily.get(self.snapshots.day_count, self._compute_daily, self.obs)
+
+    def _compute_daily(self) -> dict:
+        totals = self.snapshots.daily_totals()
+        days = sorted(totals)
+        values = [totals[day] for day in days]
+        peak = max(values, default=0)
+        return {
+            "scope": "daily",
+            "days": [day.isoformat() for day in days],
+            "totals": values,
+            "relative_percent": [
+                (100.0 * value / peak) if peak else 0.0 for value in values
+            ],
+            "peak": peak,
+        }
+
+    def _prefix_payload(self, raw_prefix: str) -> dict:
+        try:
+            prefix = normalise_slash24(raw_prefix)
+        except ValueError as error:
+            raise ServiceError(400, f"invalid /24 prefix: {error}") from error
+        history = self.snapshots.history(prefix)
+        if history is None:
+            raise ServiceError(404, f"prefix {prefix} was never observed", prefix=prefix)
+        peak = max(history, default=0)
+        return {
+            "scope": "daily",
+            "prefix": prefix,
+            "days": [day.isoformat() for day in self.snapshots.days],
+            "totals": history,
+            "relative_percent": [
+                (100.0 * value / peak) if peak else 0.0 for value in history
+            ],
+            "peak": peak,
+        }
+
+    def hourly_payload(self, network: str, *, source: str = "rdns") -> dict:
+        if self.campaigns is None:
+            raise ServiceError(
+                404, "hourly occupancy is not enabled (no campaign repository)"
+            )
+        if source not in ("rdns", "icmp"):
+            raise ServiceError(400, "source must be 'rdns' or 'icmp'")
+        dataset = self.campaigns.dataset()
+        self.obs.metrics.counter("serve_campaign_cache_total").labels(
+            outcome=self.campaigns.last_outcome or "miss"
+        ).inc()
+        if network not in self.campaigns.networks():
+            raise ServiceError(
+                404,
+                f"network {network!r} is not part of the campaign",
+                networks=self.campaigns.networks(),
+            )
+        icmp_hours, rdns_hours = hourly_activity(dataset, network)
+        hours = rdns_hours if source == "rdns" else icmp_hours
+        start, end = self.campaigns.window
+        return {
+            "scope": "hourly",
+            "network": network,
+            "source": source,
+            "window": [start.isoformat(), end.isoformat()],
+            "hours": {str(hour): count for hour, count in sorted(hours.items())},
+        }
+
+
+class ServeServices:
+    """The bundle one app instance dispatches into."""
+
+    def __init__(
+        self,
+        dynamicity: DynamicityService,
+        leaks: LeakService,
+        names: NamesService,
+        occupancy: OccupancyService,
+    ):
+        self.dynamicity = dynamicity
+        self.leaks = leaks
+        self.names = names
+        self.occupancy = occupancy
+
+    @classmethod
+    def build(
+        cls,
+        snapshots: SnapshotRepository,
+        campaigns: Optional[CampaignRepository] = None,
+        *,
+        dynamicity_thresholds: Optional[DynamicityThresholds] = None,
+        leak_thresholds: Optional[LeakThresholds] = None,
+        leak_sample_days: int = 7,
+        obs: Optional[Observability] = None,
+    ) -> "ServeServices":
+        obs = resolve_obs(obs)
+        dynamicity = DynamicityService(
+            snapshots, thresholds=dynamicity_thresholds, obs=obs
+        )
+        leaks = LeakService(
+            snapshots,
+            dynamicity,
+            thresholds=leak_thresholds,
+            sample_days=leak_sample_days,
+            obs=obs,
+        )
+        return cls(
+            dynamicity=dynamicity,
+            leaks=leaks,
+            names=NamesService(leaks),
+            occupancy=OccupancyService(snapshots, campaigns, obs=obs),
+        )

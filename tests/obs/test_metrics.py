@@ -140,3 +140,43 @@ class TestDisabledRegistry:
 
     def test_default_buckets_sorted(self):
         assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+
+class TestLabelKeyEscaping:
+    """Regression: label values containing ``,`` or ``=`` used to
+    collide — ``labels(a="1,b=2")`` and ``labels(a="1", b="2")`` both
+    flattened to the child key ``a=1,b=2``."""
+
+    def test_separator_values_do_not_collide(self):
+        counter = Counter("c")
+        counter.labels(a="1,b=2").inc(3)
+        counter.labels(a="1", b="2").inc(4)
+        snapshot = counter.snapshot()
+        assert len(snapshot["labels"]) == 2
+        assert sorted(snapshot["labels"].values()) == [3, 4]
+
+    def test_value_reads_through_escaped_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("c").labels(path="a=b,c").inc(9)
+        assert registry.value("c", {"path": "a=b,c"}) == 9
+        assert registry.value("c", {"path": "a"}) == 0
+
+    def test_snapshot_keys_are_deterministic_and_escaped(self):
+        counter = Counter("c")
+        counter.labels(b="2", a="1,x").inc()
+        (key,) = counter.snapshot()["labels"]
+        assert key == "a=1%2Cx,b=2"
+
+    def test_percent_escape_is_injective(self):
+        # A literal ``%2C`` in a value must not alias an escaped comma.
+        counter = Counter("c")
+        counter.labels(a="x,y").inc(1)
+        counter.labels(a="x%2Cy").inc(2)
+        assert len(counter.snapshot()["labels"]) == 2
+
+    def test_merge_round_trips_escaped_children(self):
+        a = MetricsRegistry()
+        a.counter("c").labels(q="v=1,w").inc(5)
+        b = MetricsRegistry()
+        b.merge_snapshot(json.loads(json.dumps(a.snapshot())))
+        assert b.value("c", {"q": "v=1,w"}) == 5

@@ -6,6 +6,8 @@ A torn write used to leave a corrupt ``<key>.json`` in place forever
 files indefinitely.
 """
 
+import pytest
+
 from repro.obs import Observability
 from repro.scan.cache import SnapshotCache
 
@@ -43,7 +45,13 @@ class TestCorruptEntryRepair:
         cache.store("k1", {})
         assert cache.load("k1") == {}
         snapshot = cache.execution_snapshot()
-        assert snapshot == {"hits": 1, "misses": 1, "stores": 1, "corrupt_entries": 0}
+        assert snapshot == {
+            "hits": 1,
+            "misses": 1,
+            "stores": 1,
+            "corrupt_entries": 0,
+            "tmp_cleanups": 0,
+        }
 
     def test_export_metrics_records_deltas(self, tmp_path):
         cache = make_cache(tmp_path)
@@ -59,7 +67,55 @@ class TestCorruptEntryRepair:
             "cache_misses": 1,
             "cache_stores": 0,
             "cache_corrupt_entries": 0,
+            "cache_tmp_cleanups": 0,
         }
+
+
+class TestFailedStoreCleansUp:
+    """Regression: a store that raised mid-write (unserialisable
+    payload, failed rename) used to leak its ``*.tmp`` file into the
+    cache root and still count in ``stores``."""
+
+    def test_unserialisable_payload_leaves_no_tmp(self, tmp_path):
+        cache = make_cache(tmp_path)
+        with pytest.raises(TypeError):
+            cache.store("k1", {"bad": object()})
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert not cache.path_for("k1").exists()
+        assert cache.tmp_cleanups == 1
+        assert cache.stores == 0
+
+    def test_failed_store_does_not_clobber_existing_entry(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.store("k1", {"value": 1})
+        with pytest.raises(TypeError):
+            cache.store("k1", {"bad": {1, 2}})
+        assert cache.load("k1") == {"value": 1}
+        assert cache.tmp_cleanups == 1
+        assert cache.stores == 1
+
+    def test_collection_survives_store_failure(self, tmp_path, monkeypatch):
+        import datetime as dt
+
+        from repro.netsim.internet import WorldScale, build_world
+        from repro.scan.snapshot import SnapshotCollector
+
+        world = build_world(seed=3, scale=WorldScale.small())
+        cache = make_cache(tmp_path)
+        monkeypatch.setattr(
+            type(cache),
+            "store",
+            lambda self, key, payload: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        collector = SnapshotCollector.openintel_style(world.internet)
+        series = collector.collect(
+            dt.date(2021, 1, 1), dt.date(2021, 1, 4), cache=cache
+        )
+        # The freshly collected series is returned despite the failed
+        # persistence, and the failure is surfaced in the metrics.
+        assert len(series) == 3
+        assert collector.last_metrics.cache_store_failed is True
+        assert collector.last_metrics.cache_stored is False
 
 
 class TestClearSweepsOrphans:

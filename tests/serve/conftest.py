@@ -1,0 +1,67 @@
+"""Shared fixtures for the query-service tests.
+
+The quick world and its collected dynamicity window are expensive
+relative to a unit test, so they are built once per session; each test
+that mutates service state (ingest) gets a *fresh* series rebuilt from
+the cached payload — `SnapshotSeries.from_payload` is cheap and
+bit-identical to the original collection.
+"""
+
+import pytest
+
+from repro.core.pipeline import StudyConfig
+from repro.netsim.internet import build_world
+from repro.obs import Observability
+from repro.scan.snapshot import SnapshotCollector, SnapshotSeries
+from repro.serve import (
+    CampaignRepository,
+    ServeApp,
+    ServeServices,
+    SnapshotRepository,
+)
+
+
+@pytest.fixture(scope="session")
+def quick_config():
+    return StudyConfig.quick(1)
+
+
+@pytest.fixture(scope="session")
+def quick_world(quick_config):
+    return build_world(seed=quick_config.seed, scale=quick_config.scale)
+
+
+@pytest.fixture(scope="session")
+def series_payload(quick_world, quick_config):
+    collector = SnapshotCollector.openintel_style(quick_world.internet)
+    series = collector.collect(
+        quick_config.dynamicity_start, quick_config.dynamicity_end
+    )
+    return series.to_payload()
+
+
+@pytest.fixture
+def fresh_series(quick_world, series_payload):
+    return SnapshotSeries.from_payload(series_payload, quick_world.internet)
+
+
+def build_quick_app(world, series, config, *, obs=None) -> ServeApp:
+    obs = obs or Observability()
+    snapshots = SnapshotRepository(series)
+    campaigns = CampaignRepository(
+        world, start=config.supplemental_start, end=config.supplemental_end
+    )
+    services = ServeServices.build(
+        snapshots,
+        campaigns,
+        dynamicity_thresholds=config.dynamicity_thresholds,
+        leak_thresholds=config.leak_thresholds,
+        leak_sample_days=config.leak_sample_days,
+        obs=obs,
+    )
+    return ServeApp(services, obs=obs)
+
+
+@pytest.fixture
+def app(quick_world, fresh_series, quick_config):
+    return build_quick_app(quick_world, fresh_series, quick_config)

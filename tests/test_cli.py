@@ -239,3 +239,80 @@ class TestSpecAndSave:
         assert code == 0
         assert "Spec-Corp" in output
         assert (save_dir / "dataset.json").exists()
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8400
+        assert args.leak_sample_days is None
+
+    def test_rejects_non_positive_leak_sample_days(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--leak-sample-days", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--leak-sample-days", "-3"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--leak-sample-days", "many"])
+
+    def test_serve_builds_app_and_hands_off(self, monkeypatch):
+        import repro.serve
+
+        handed = {}
+
+        def fake_run_app(app, host, port):
+            handed.update(app=app, host=host, port=port)
+
+        monkeypatch.setattr(repro.serve, "run_app", fake_run_app)
+        code, output = run_cli(
+            "--quick", "--seed", "1", "serve", "--port", "9999"
+        )
+        assert code == 0
+        assert handed["host"] == "127.0.0.1"
+        assert handed["port"] == 9999
+        assert "serving 21 day(s)" in output
+        assert "http://127.0.0.1:9999" in output
+        # The handed-off app is live: it answers a dispatch in-process.
+        status, payload = handed["app"].dispatch("GET", "/healthz")
+        assert status == 200
+        assert payload["days"] == 21
+
+
+class TestCadenceErrorSurfacing:
+    """Regression: a mixed-spacing snapshot series used to escape as a
+    raw ValueError traceback; the CLI now prints a one-line actionable
+    error and exits 2."""
+
+    MESSAGE = (
+        "mixed snapshot spacing: days 2021-01-01..2021-01-05 arrived at "
+        "irregular intervals"
+    )
+
+    def test_study_prints_one_line_error(self, monkeypatch, capsys):
+        from repro.core.pipeline import ReproductionStudy
+
+        def boom(self):
+            raise ValueError(TestCadenceErrorSurfacing.MESSAGE)
+
+        monkeypatch.setattr(ReproductionStudy, "dynamicity", boom)
+        code, _ = run_cli("--quick", "--seed", "1", "study")
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.strip() == (
+            f"error: irregular snapshot series — {self.MESSAGE}"
+        )
+        assert "Traceback" not in captured.err
+
+    def test_unrelated_value_errors_use_generic_handler(self, monkeypatch, capsys):
+        from repro.core.pipeline import ReproductionStudy
+
+        def boom(self):
+            raise ValueError("something else entirely")
+
+        monkeypatch.setattr(ReproductionStudy, "dynamicity", boom)
+        code, _ = run_cli("--quick", "--seed", "1", "study")
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.strip() == "rdns-privacy: error: something else entirely"
+        assert "irregular snapshot series" not in captured.err
