@@ -1,0 +1,65 @@
+"""Profile the world-generation hot path: a full campaign build.
+
+Runs the supplemental campaign (engine + DHCP/IPAM churn + hourly
+sweeps + rDNS follows) for a 7-day window over all nine Table-4
+networks under ``cProfile`` and prints the top functions by cumulative
+time — the first place to look when ``BENCH_worldgen.json`` regresses.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_worldgen.py
+    PYTHONPATH=src python scripts/profile_worldgen.py --days 3 --top 30
+    PYTHONPATH=src python scripts/profile_worldgen.py --sort tottime
+"""
+
+import argparse
+import cProfile
+import datetime as dt
+import io
+import pstats
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--days", type=int, default=7, help="campaign window length")
+    parser.add_argument("--top", type=int, default=20, help="rows to print")
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls"],
+        help="pstats sort key",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    from repro.netsim.internet import build_world
+    from repro.scan.campaign import run_network_campaign
+
+    world = build_world(seed=args.seed)
+    start = dt.date(2021, 3, 1)
+    end = start + dt.timedelta(days=args.days)
+    names = list(world.supplemental)
+
+    def build() -> None:
+        for name in names:
+            run_network_campaign(world, name, start, end)
+
+    profile = cProfile.Profile()
+    profile.enable()
+    build()
+    profile.disable()
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profile, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(
+        f"world-generation profile: {args.days} days x {len(names)} networks "
+        f"(seed {args.seed}), top {args.top} by {args.sort}\n"
+    )
+    print(stream.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

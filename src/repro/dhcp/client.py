@@ -46,6 +46,8 @@ class DhcpClient:
         self.address: Optional[ipaddress.IPv4Address] = None
         self.lease_time: Optional[int] = None
         self.bound_at: Optional[int] = None
+        self._renew_request: Optional[DhcpMessage] = None
+        self._renew_identity: Optional[tuple] = None
 
     # -- option construction ----------------------------------------------
 
@@ -84,8 +86,18 @@ class DhcpClient:
         """Renew the current lease in place; returns success."""
         if self.state is not DhcpClientState.BOUND:
             raise DhcpError("cannot renew while not bound")
-        options = self._base_options()
-        request = DhcpMessage(MessageType.REQUEST, self.client_id, options=options)
+        # The renew REQUEST carries only identity-derived options, so it
+        # is byte-identical between renewals unless the device changed
+        # its name or profile mid-lease; the server never mutates or
+        # retains the message, making reuse safe.
+        identity = (self.host_name, self.client_fqdn, self.anonymity_profile)
+        request = self._renew_request
+        if request is None or self._renew_identity != identity:
+            request = DhcpMessage(
+                MessageType.REQUEST, self.client_id, options=self._base_options()
+            )
+            self._renew_request = request
+            self._renew_identity = identity
         ack = server.handle(request, now)
         if ack is None or ack.message_type is not MessageType.ACK:
             self.state = DhcpClientState.INIT

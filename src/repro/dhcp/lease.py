@@ -72,6 +72,10 @@ class LeaseDatabase:
         self._by_address: Dict[ipaddress.IPv4Address, Lease] = {}
         self._by_client: Dict[str, Lease] = {}
         self._history: List[Lease] = []
+        #: Lower bound on the earliest expiry among stored leases.
+        #: Renewals only push expiries later, so the bound can go stale
+        #: low (costing one wasted scan) but never stale high.
+        self._next_expiry = float("inf")
 
     def add(self, lease: Lease) -> None:
         if lease.address in self._by_address:
@@ -81,15 +85,21 @@ class LeaseDatabase:
             raise ValueError(f"client {lease.client_id} already holds a lease")
         self._by_address[lease.address] = lease
         self._by_client[lease.client_id] = lease
+        if lease.expires_at < self._next_expiry:
+            self._next_expiry = lease.expires_at
 
     def get_by_address(self, address) -> Lease:
-        lease = self._by_address.get(ipaddress.ip_address(address))
+        if not isinstance(address, ipaddress.IPv4Address):
+            address = ipaddress.ip_address(address)
+        lease = self._by_address.get(address)
         if lease is None:
             raise UnknownLeaseError(f"no lease for {address}")
         return lease
 
     def find_by_address(self, address) -> Optional[Lease]:
-        return self._by_address.get(ipaddress.ip_address(address))
+        if not isinstance(address, ipaddress.IPv4Address):
+            address = ipaddress.ip_address(address)
+        return self._by_address.get(address)
 
     def find_by_client(self, client_id: str) -> Optional[Lease]:
         return self._by_client.get(client_id)
@@ -107,8 +117,26 @@ class LeaseDatabase:
         self._history.append(lease)
 
     def expired(self, now: int) -> List[Lease]:
-        """Active-table leases whose expiry time has passed."""
-        return [lease for lease in self._by_address.values() if now >= lease.expires_at]
+        """Active-table leases whose expiry time has passed.
+
+        Expiry sweeps run every few simulated minutes per subnet; the
+        ``_next_expiry`` bound turns the common nothing-due sweep into a
+        single comparison instead of a full-table scan.  When a scan
+        does run, the bound is recomputed over everything still stored
+        (expired-but-not-yet-dropped leases keep it at or below ``now``,
+        so a caller that never drops them still sees fresh scans).
+        """
+        if now < self._next_expiry:
+            return []
+        expired = []
+        next_expiry = float("inf")
+        for lease in self._by_address.values():
+            if now >= lease.expires_at:
+                expired.append(lease)
+            if lease.expires_at < next_expiry:
+                next_expiry = lease.expires_at
+        self._next_expiry = next_expiry
+        return expired
 
     def active(self, now: int) -> List[Lease]:
         return [lease for lease in self._by_address.values() if lease.is_active(now)]

@@ -22,6 +22,7 @@ from repro.dhcp.pool import AddressPool
 DEFAULT_LEASE_TIME = 3600
 
 LeaseListener = Callable[[LeaseEvent], None]
+LeaseBatchListener = Callable[[List[LeaseEvent]], None]
 
 
 class DhcpServer:
@@ -46,16 +47,44 @@ class DhcpServer:
         self.lease_time = lease_time
         self.leases = LeaseDatabase()
         self._listeners: List[LeaseListener] = []
+        self._batch_listeners: List[Optional[LeaseBatchListener]] = []
         self.messages_processed = 0
 
-    def subscribe(self, listener: LeaseListener) -> None:
-        """Register a lease-event listener (e.g. an IPAM system)."""
+    def subscribe(
+        self,
+        listener: LeaseListener,
+        *,
+        batch: Optional[LeaseBatchListener] = None,
+    ) -> None:
+        """Register a lease-event listener (e.g. an IPAM system).
+
+        A listener may also supply a ``batch`` handler; tick-level
+        sweeps (``expire_leases``) then deliver the whole tick's events
+        in one call instead of one call per lease.
+        """
         self._listeners.append(listener)
+        self._batch_listeners.append(batch)
 
     def _publish(self, kind: LeaseEventKind, lease: Lease, at: int) -> None:
         event = LeaseEvent(kind, lease, at)
         for listener in self._listeners:
             listener(event)
+
+    def _publish_batch(self, kind: LeaseEventKind, leases: List[Lease], at: int) -> None:
+        """One tick's transitions as a batch, in lease order.
+
+        Batch-capable listeners get the full event list; plain
+        callables still see each event individually, in the same order.
+        """
+        if not leases:
+            return
+        events = [LeaseEvent(kind, lease, at) for lease in leases]
+        for listener, batch in zip(self._listeners, self._batch_listeners):
+            if batch is not None:
+                batch(events)
+            else:
+                for event in events:
+                    listener(event)
 
     # -- protocol handlers ------------------------------------------------
 
@@ -152,8 +181,12 @@ class DhcpServer:
         measurement's five-minute probe interval is plenty).
         """
         expired = self.leases.expired(now)
+        if not expired:
+            return expired
         for lease in expired:
-            self._expire_lease(lease, now)
+            self.leases.drop(lease, LeaseState.EXPIRED)
+            self.pool.release(lease.address)
+        self._publish_batch(LeaseEventKind.EXPIRED, expired, now)
         return expired
 
     def _expire_lease(self, lease: Lease, now: int) -> None:

@@ -10,7 +10,7 @@ query (Example 1: ``93.184.216.34`` -> ``34.216.184.93.in-addr.arpa.``).
 from __future__ import annotations
 
 import ipaddress
-from functools import total_ordering
+from functools import lru_cache, total_ordering
 from typing import Iterable, Iterator, Union
 
 from repro.dns.errors import LabelError
@@ -42,7 +42,7 @@ class DomainName:
     with a trailing dot.
     """
 
-    __slots__ = ("_labels", "_key")
+    __slots__ = ("_labels", "_key", "_text", "_hash")
 
     def __init__(self, labels: Iterable[str] = ()):
         labels = tuple(_validate_label(label) for label in labels)
@@ -51,6 +51,8 @@ class DomainName:
             raise LabelError(f"name longer than {MAX_NAME_LENGTH} octets")
         self._labels = labels
         self._key = tuple(label.lower() for label in labels)
+        self._text: "str | None" = None
+        self._hash: "int | None" = None
 
     @classmethod
     def parse(cls, text: str) -> "DomainName":
@@ -70,9 +72,11 @@ class DomainName:
 
     def to_text(self) -> str:
         """The absolute textual form, with trailing dot (root is ``"."``)."""
-        if not self._labels:
-            return "."
-        return ".".join(self._labels) + "."
+        text = self._text
+        if text is None:
+            text = ".".join(self._labels) + "." if self._labels else "."
+            self._text = text
+        return text
 
     def relative_text(self) -> str:
         """The textual form without the trailing dot."""
@@ -115,7 +119,12 @@ class DomainName:
         return len(self._labels)
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        # Names key delegation caches and PTR tables; hashing the label
+        # tuple each probe showed up in sweep profiles.
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(self._key)
+        return h
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DomainName):
@@ -148,19 +157,26 @@ def _as_ip(address: IPAddress):
     return ipaddress.ip_address(address)
 
 
-def reverse_pointer(address: IPAddress) -> DomainName:
-    """The PTR query name for an IP address.
-
-    >>> reverse_pointer("93.184.216.34").to_text()
-    '34.216.184.93.in-addr.arpa.'
-    """
-    ip = _as_ip(address)
+@lru_cache(maxsize=65536)
+def _reverse_pointer_cached(ip) -> DomainName:
+    # DomainName is immutable, so sharing instances across callers is
+    # safe; sweeps re-query the same addresses every interval, which
+    # makes this cache nearly always hot.
     if ip.version == 4:
         labels = tuple(str(ip).split(".")[::-1]) + _REVERSE_V4_SUFFIX
     else:
         nibbles = format(int(ip), "032x")
         labels = tuple(nibbles[::-1]) + _REVERSE_V6_SUFFIX
     return DomainName(labels)
+
+
+def reverse_pointer(address: IPAddress) -> DomainName:
+    """The PTR query name for an IP address.
+
+    >>> reverse_pointer("93.184.216.34").to_text()
+    '34.216.184.93.in-addr.arpa.'
+    """
+    return _reverse_pointer_cached(_as_ip(address))
 
 
 def from_reverse_pointer(name: DomainName) -> ipaddress.IPv4Address:
@@ -180,7 +196,11 @@ def from_reverse_pointer(name: DomainName) -> ipaddress.IPv4Address:
         raise LabelError(f"non-numeric octet label in {name}") from exc
     if any(not 0 <= octet <= 255 for octet in octets):
         raise LabelError(f"octet out of range in {name}")
-    return ipaddress.IPv4Address(".".join(str(octet) for octet in octets[::-1]))
+    # Labels arrive least-significant first (d.c.b.a for a.b.c.d);
+    # packing the integer directly skips ipaddress's string parser,
+    # which dominated sweep profiles.
+    packed = (octets[3] << 24) | (octets[2] << 16) | (octets[1] << 8) | octets[0]
+    return ipaddress.IPv4Address(packed)
 
 
 def reverse_zone_origin(prefix: Union[str, ipaddress.IPv4Network]) -> DomainName:

@@ -121,6 +121,9 @@ class StubResolver:
         #: every authoritative server on the query path.
         self.fault_plan = fault_plan
         self._delegations: Dict[DomainName, AuthoritativeServer] = {}
+        #: Memoised longest-origin matches; a pure function of the
+        #: delegation table, so it is dropped whenever that changes.
+        self._server_cache: Dict[DomainName, Optional[AuthoritativeServer]] = {}
         self._msg_ids = itertools.count(1)
         self.queries_sent = 0
         self.timeouts_seen = 0
@@ -138,18 +141,30 @@ class StubResolver:
         """Register every zone origin served by ``server``."""
         for zone in server.zones():
             self._delegations[zone.origin] = server
+        self._server_cache.clear()
 
     def delegate_origin(self, origin: DomainName, server: AuthoritativeServer) -> None:
         self._delegations[origin] = server
+        self._server_cache.clear()
 
     def server_for(self, name: DomainName) -> Optional[AuthoritativeServer]:
-        """Longest-origin-match delegation lookup."""
+        """Longest-origin-match delegation lookup, memoised per name.
+
+        Sweeps re-resolve the same few thousand reverse names every
+        interval; the linear scan over all delegations only runs on the
+        first sight of each name.
+        """
+        try:
+            return self._server_cache[name]
+        except KeyError:
+            pass
         best_origin: Optional[DomainName] = None
         best_server: Optional[AuthoritativeServer] = None
         for origin, server in self._delegations.items():
             if name.is_subdomain_of(origin):
                 if best_origin is None or len(origin) > len(best_origin):
                     best_origin, best_server = origin, server
+        self._server_cache[name] = best_server
         return best_server
 
     def backoff_delay(self, name: DomainName, attempt: int) -> float:
@@ -245,8 +260,29 @@ class StubResolver:
         """
         return self.resolve_name(reverse_pointer(address), at=at, network=network)
 
+    def lookup_batch(
+        self,
+        addresses: List[IPAddress],
+        *,
+        at: Optional[int] = None,
+        network: str = "",
+    ) -> List[ResolutionResult]:
+        """Resolve PTR records for a whole sweep segment in one call.
+
+        Results are in input order, and every per-address draw (fault
+        plan, server failure model, backoff jitter) happens in exactly
+        the order the per-address loop would produce — batch callers
+        stay bit-identical to ``resolve_ptr`` loops under any
+        ``FaultPlan``.
+        """
+        resolve = self.resolve_name
+        return [
+            resolve(reverse_pointer(address), at=at, network=network)
+            for address in addresses
+        ]
+
     def resolve_many(self, addresses: List[IPAddress]) -> List[ResolutionResult]:
-        return [self.resolve_ptr(address) for address in addresses]
+        return self.lookup_batch(addresses)
 
     def export_metrics(self, registry) -> None:
         """Publish query/rcode/retry/backoff totals into a registry.

@@ -69,10 +69,18 @@ class CarryOverPolicy(DnsUpdatePolicy):
     def __init__(self, suffix: str, *, fallback_prefix: str = "dhcp"):
         super().__init__(suffix)
         self.fallback_prefix = fallback_prefix
+        # Sanitisation is a pure string transform, and renewals re-ask
+        # for the same host names every half lease-time; the population
+        # of distinct names is bounded by the device population.
+        self._sanitized: dict = {}
 
     def hostname_for(self, lease: Lease) -> Optional[str]:
-        if lease.host_name:
-            label = sanitize_host_name(lease.host_name)
+        name = lease.host_name
+        if name:
+            label = self._sanitized.get(name)
+            if label is None:
+                label = sanitize_host_name(name)
+                self._sanitized[name] = label
         else:
             label = self._fallback_label(lease.address)
         return f"{label}.{self.suffix}"
@@ -101,7 +109,10 @@ class StaticTemplatePolicy(DnsUpdatePolicy):
         self.template = template
 
     def _label(self, address) -> str:
-        ip = ipaddress.ip_address(address)
+        if isinstance(address, ipaddress.IPv4Address):
+            ip = address
+        else:
+            ip = ipaddress.ip_address(address)
         return self.template.format(
             dashed=str(ip).replace(".", "-"),
             last_octet=str(ip).rsplit(".", 1)[-1],
@@ -131,11 +142,16 @@ class HashedPolicy(DnsUpdatePolicy):
             raise ValueError("digest_length must be between 4 and 32")
         self.key = key
         self.digest_length = digest_length
+        self._digests: dict = {}
 
     def hostname_for(self, lease: Lease) -> Optional[str]:
-        material = self.key + lease.client_id.encode("utf-8")
-        digest = hashlib.sha256(material).hexdigest()[: self.digest_length]
-        return f"h-{digest}.{self.suffix}"
+        hostname = self._digests.get(lease.client_id)
+        if hostname is None:
+            material = self.key + lease.client_id.encode("utf-8")
+            digest = hashlib.sha256(material).hexdigest()[: self.digest_length]
+            hostname = f"h-{digest}.{self.suffix}"
+            self._digests[lease.client_id] = hostname
+        return hostname
 
 
 class NoUpdatePolicy(DnsUpdatePolicy):

@@ -77,7 +77,7 @@ class IpamSystem:
 
     def attach(self, server: DhcpServer) -> "IpamSystem":
         """Subscribe to ``server``'s lease events; returns self."""
-        server.subscribe(self.on_lease_event)
+        server.subscribe(self.on_lease_event, batch=self.on_lease_batch)
         return self
 
     def provision_static_records(self, *, at: int = 0) -> int:
@@ -104,6 +104,20 @@ class IpamSystem:
             self._pending.append((event.at + self.update_delay_seconds, event))
             return
         self._apply(event, event.at)
+
+    def on_lease_batch(self, events: List[LeaseEvent]) -> None:
+        """Handle one tick's worth of lease events in event order.
+
+        Equivalent to calling :meth:`on_lease_event` per event, without
+        paying the per-event dispatch through the server's listener
+        loop.
+        """
+        if self.update_delay_seconds:
+            delay = self.update_delay_seconds
+            self._pending.extend((event.at + delay, event) for event in events)
+            return
+        for event in events:
+            self._apply(event, event.at)
 
     def flush_pending(self, now: int) -> int:
         """Apply all delayed updates due at or before ``now``."""

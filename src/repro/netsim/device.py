@@ -139,8 +139,23 @@ class Device:
         if cached is not None and cached[0] == ordinal and cached[1] == factor:
             return cached[2]
         owner_key = self.owner_id or self.device_id
-        owner_rng = rng_streams.fresh("sessions", owner_key, ordinal)
-        sessions = self.profile.sessions_for_day(day, owner_rng, factor)
+        # Owner-level sessions are a pure function of (owner, day,
+        # factor, profile): every device of one owner re-draws the same
+        # stream, so the day's draw is shared across their devices via a
+        # cache on the rng_streams object (which lives exactly as long
+        # as the world the draws belong to).
+        shared = getattr(rng_streams, "_owner_session_cache", None)
+        if shared is None:
+            shared = {}
+            rng_streams._owner_session_cache = shared
+        share_key = (owner_key, ordinal, factor, id(self.profile))
+        sessions = shared.get(share_key)
+        if sessions is None:
+            owner_rng = rng_streams.fresh("sessions", owner_key, ordinal)
+            sessions = self.profile.sessions_for_day(day, owner_rng, factor)
+            if len(shared) >= 262144:
+                shared.clear()
+            shared[share_key] = sessions
         if sessions and self.session_participation < 1.0:
             device_rng = rng_streams.fresh("participation", self.device_id, ordinal)
             sessions = [

@@ -239,6 +239,58 @@ class NetworkRuntime:
         """Would an echo request to ``address`` be answered right now?"""
         return self.echo_outcome(address, at, attempt) == ECHO_REPLY
 
+    def echo_batch(self, addresses) -> List[ipaddress.IPv4Address]:
+        """The subset of ``addresses`` (in ascending order) that would
+        echo now.  Callers pass sweep segments — dense ascending address
+        runs — for which ascending order and input order coincide.
+
+        Only valid when no fault plan is attached: without loss draws an
+        echo outcome is a pure function of presence, so a whole sweep
+        segment reduces to dict probes with the allowlist and policy
+        hoisted out of the loop.  Fault-injected runs must go through
+        :meth:`echo_outcome` per address to spend their keyed draws.
+        """
+        if self.fault_plan is not None:
+            raise ValueError("echo_batch requires fault-free runtimes")
+        allowlist = self.network.icmp_allowlist
+        if self.network.icmp_policy is IcmpPolicy.BLOCK:
+            if not allowlist:
+                return []
+            return [ip for ip in addresses if ip in allowlist]
+        online = self._online
+        if addresses and int(addresses[-1]) - int(addresses[0]) == len(addresses) - 1:
+            # Dense ascending range (every sweep segment is one): invert
+            # the scan and walk the online table instead of the address
+            # space.  Occupancy is a few percent of a /24 sweep, so this
+            # is O(online + allowlist) rather than O(addresses).  Sorting
+            # restores ascending order — exactly the order the input
+            # (and the per-address loop) produces.
+            lo = int(addresses[0])
+            hi = int(addresses[-1])
+            hits = {
+                ip
+                for ip, device in online.items()
+                if device.icmp_responds and lo <= int(ip) <= hi
+            }
+            if allowlist:
+                hits.update(ip for ip in allowlist if lo <= int(ip) <= hi)
+            return sorted(hits)
+        if allowlist:
+            return [
+                ip
+                for ip in addresses
+                if ip in allowlist
+                or ((device := online.get(ip)) is not None and device.icmp_responds)
+            ]
+        responders: List[ipaddress.IPv4Address] = []
+        append = responders.append
+        get = online.get
+        for ip in addresses:
+            device = get(ip)
+            if device is not None and device.icmp_responds:
+                append(ip)
+        return responders
+
 
 def build_runtimes(
     networks: List[Network],

@@ -133,13 +133,40 @@ class IcmpScanner:
         """
         observations: List[IcmpObservation] = []
         check_block = self._has_blocklist
+        rate = self.rate_limit
         for target in targets:
             for runtime, addresses in self._target_plan(target):
+                if rate is None and not check_block:
+                    # Batched segment: with no per-address gatekeeping,
+                    # one bulk probe count plus a vectorised presence
+                    # scan replaces 256 per-address loop iterations.
+                    # Counters and observation order are identical to
+                    # the per-address path below.
+                    self.probes_sent += len(addresses)
+                    if runtime is None:
+                        continue
+                    label = network or runtime.network.name
+                    if runtime.fault_plan is None:
+                        observations.extend(
+                            IcmpObservation(address, at, label)
+                            for address in runtime.echo_batch(addresses)
+                        )
+                    else:
+                        # Loss draws are keyed per (address, time,
+                        # attempt); spend them address by address so
+                        # retry accounting matches the per-address path.
+                        echo = self._echo
+                        observations.extend(
+                            IcmpObservation(address, at, label)
+                            for address in addresses
+                            if echo(runtime, address, at)
+                        )
+                    continue
                 for address in addresses:
                     if check_block and self.is_blocked(address):
                         self.probes_suppressed += 1
                         continue
-                    if self.rate_limit is not None and not self.rate_limit.acquire(at):
+                    if rate is not None and not rate.acquire(at):
                         self.probes_suppressed += 1
                         continue
                     self.probes_sent += 1

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import ipaddress
 from collections import Counter
-from typing import Optional
+from typing import List, Optional
 
 from repro.dns.resolver import ResolutionStatus, StubResolver
 from repro.scan.observations import RdnsObservation
@@ -34,7 +34,10 @@ class RdnsLookupEngine:
 
     def lookup(self, address, at: int, *, network: str = "") -> Optional[RdnsObservation]:
         """One PTR lookup; ``None`` only when rate-limited away."""
-        ip = ipaddress.ip_address(address)
+        if isinstance(address, ipaddress.IPv4Address):
+            ip = address
+        else:
+            ip = ipaddress.ip_address(address)
         if self.rate_limit is not None and not self.rate_limit.acquire(at):
             self.lookups_suppressed += 1
             return None
@@ -51,6 +54,50 @@ class RdnsLookupEngine:
             hostname=result.hostname or "",
             network=network,
         )
+
+    def lookup_batch(
+        self, addresses, at: int, *, network: str = ""
+    ) -> List[Optional[RdnsObservation]]:
+        """PTR lookups for a sweep's worth of addresses, in input order.
+
+        Semantically identical to calling :meth:`lookup` per address —
+        the rate limiter is consulted once per lookup (the whole batch
+        shares its token state at ``at``), counters advance the same
+        way, and fault/failure draws stay per-address inside the
+        resolver — so batch and per-address callers produce the same
+        observations bit for bit.  Suppressed lookups appear as ``None``
+        placeholders to keep the result aligned with the input.
+        """
+        rate = self.rate_limit
+        resolver = self.resolver
+        status_counts = self.status_counts
+        observations: List[Optional[RdnsObservation]] = []
+        append = observations.append
+        for address in addresses:
+            if isinstance(address, ipaddress.IPv4Address):
+                ip = address
+            else:
+                ip = ipaddress.ip_address(address)
+            if rate is not None and not rate.acquire(at):
+                self.lookups_suppressed += 1
+                append(None)
+                continue
+            self.lookups_performed += 1
+            before = resolver.timeouts_seen
+            result = resolver.resolve_ptr(ip, at=at, network=network)
+            self.attempts_made += result.attempts
+            self.timeouts_seen += resolver.timeouts_seen - before
+            status_counts[result.status] += 1
+            append(
+                RdnsObservation(
+                    address=ip,
+                    at=at,
+                    status=result.status,
+                    hostname=result.hostname or "",
+                    network=network,
+                )
+            )
+        return observations
 
     def export_metrics(self, registry) -> None:
         """Publish lookup/rcode totals (and the bucket's counters)."""

@@ -122,8 +122,27 @@ class ReactiveMonitor:
         online = self._online
         appeared = sorted(address for address in responders if address not in online)
         disappeared = sorted(address for address in online if address not in responders)
-        for address in appeared:
-            self._on_client_appeared(address, responders[address])
+        # Spot lookups for the sweep's new clients go through the
+        # batched rDNS path, one call per contiguous same-network run
+        # (networks own disjoint prefixes, so sorted addresses cluster).
+        # Lookup order — and therefore every rate-limit and fault draw —
+        # matches the per-address loop exactly; only the follow-up
+        # scheduling moves after the run's lookups, and it draws
+        # nothing.
+        total = len(appeared)
+        start = 0
+        while start < total:
+            network = responders[appeared[start]]
+            stop = start + 1
+            while stop < total and responders[appeared[stop]] == network:
+                stop += 1
+            run = appeared[start:stop]
+            for observation in self.rdns.lookup_batch(run, now, network=network):
+                if observation is not None:
+                    self.rdns_observations.append(observation)
+            for address in run:
+                self._on_client_appeared(address, network, spot_done=True)
+            start = stop
         for address in disappeared:
             self._on_client_disappeared(address, online[address])
         next_at = now + self.sweep_interval
@@ -149,11 +168,15 @@ class ReactiveMonitor:
 
     # -- phase 1: client appeared ------------------------------------------------
 
-    def _on_client_appeared(self, address: ipaddress.IPv4Address, network: str) -> None:
+    def _on_client_appeared(
+        self, address: ipaddress.IPv4Address, network: str, *, spot_done: bool = False
+    ) -> None:
         self._online[address] = network
         generation = self._bump_generation(address)
-        # Spot rDNS measurement to record the PTR value.
-        self._do_rdns(address, network)
+        # Spot rDNS measurement to record the PTR value (already issued
+        # by the sweep's batched lookup when ``spot_done``).
+        if not spot_done:
+            self._do_rdns(address, network)
         for extra in range(self.phase1_extra_lookups):
             at = self.engine.now + (extra + 1) * 5 * MINUTE
             if at <= self._end:

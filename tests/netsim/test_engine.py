@@ -111,3 +111,55 @@ class TestPeriodic:
     def test_schedule_every_validates_interval(self):
         with pytest.raises(ValueError):
             SimulationEngine().schedule_every(0, lambda: None)
+
+    def test_recurring_handle_cancel_mid_stream(self):
+        engine = SimulationEngine()
+        ticks = []
+        handle = engine.schedule_every(10, lambda: ticks.append(engine.now))
+        assert not handle.cancelled
+        assert handle.next_at == 10
+        engine.run_until(35)
+        assert ticks == [10, 20, 30]
+        handle.cancel()
+        assert handle.cancelled
+        assert handle.next_at is None
+        engine.run_until(100)
+        assert ticks == [10, 20, 30]
+        assert engine.pending == 0
+
+    def test_recurring_handle_cancel_drops_pending_tick(self):
+        engine = SimulationEngine()
+        ticks = []
+        handle = engine.schedule_every(10, lambda: ticks.append(engine.now))
+
+        def stop():
+            handle.cancel()
+
+        # Cancel at t=25, while the t=30 tick is already scheduled: the
+        # pending tick must be dropped, not just future reschedules.
+        engine.schedule(25, stop)
+        engine.run_until(200)
+        assert ticks == [10, 20]
+        assert engine.pending == 0
+
+    def test_recurring_handle_self_cancel_in_callback(self):
+        engine = SimulationEngine()
+        ticks = []
+        handle = engine.schedule_every(10, lambda: ticks.append(engine.now))
+
+        def maybe_stop():
+            if len(ticks) >= 3:
+                handle.cancel()
+
+        # Piggyback the stop check on the same tick times, scheduled
+        # after the stream so it observes each tick's append.
+        engine.schedule_every(10, maybe_stop)
+        engine.run_until(200)
+        assert ticks == [10, 20, 30]
+
+    def test_recurring_handle_exhausted_by_until(self):
+        engine = SimulationEngine()
+        handle = engine.schedule_every(10, lambda: None, until=25)
+        engine.run()
+        assert handle.next_at is None
+        assert not handle.cancelled  # ran to completion, not cancelled

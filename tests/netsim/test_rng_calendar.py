@@ -4,6 +4,7 @@ import datetime as dt
 
 from repro.netsim.calendar import (
     CovidPhase,
+    _easter,
     CovidTimeline,
     HolidayCalendar,
     black_friday,
@@ -133,3 +134,54 @@ class TestCovidTimeline:
         )
         assert timeline.phase_on(dt.date(2020, 6, 1)) is CovidPhase.LOW_RISK
         assert timeline.phase_on(dt.date(2021, 6, 1)) is CovidPhase.HIGH_RISK
+
+
+class TestCalendarEdgeYears:
+    """Edge years where the date arithmetic is easiest to get wrong."""
+
+    def test_easter_2038_hits_the_latest_possible_date(self):
+        # 2038 sits at a lunar-cycle corner: the paschal full moon
+        # lands as late as it can, pushing Easter to April 25 — the
+        # latest date the Gregorian rules allow.
+        assert _easter(2038) == dt.date(2038, 4, 25)
+
+    def test_easter_earliest_possible_date(self):
+        # The other extreme of the rule: March 22 (as in 1818).
+        assert _easter(1818) == dt.date(1818, 3, 22)
+
+    def test_easter_always_a_sunday_in_bounds(self):
+        earliest = dt.date(2000, 3, 22)
+        for year in range(2000, 2100):
+            easter = _easter(year)
+            assert easter.weekday() == 6, year
+            assert dt.date(year, 3, 22) <= easter <= dt.date(year, 4, 25), year
+
+    def test_thanksgiving_when_november_opens_on_thursday(self):
+        # Nov 1, 2018 was a Thursday: it counts as the first Thursday,
+        # so the fourth lands on the 22nd — the earliest possible.
+        assert dt.date(2018, 11, 1).weekday() == 3
+        assert thanksgiving(2018) == dt.date(2018, 11, 22)
+        assert black_friday(2018) == dt.date(2018, 11, 23)
+
+    def test_thanksgiving_when_november_opens_on_friday(self):
+        # Nov 1, 2019 was a Friday: the first Thursday slips to the
+        # 7th, pushing Thanksgiving to the 28th — the latest possible.
+        assert dt.date(2019, 11, 1).weekday() == 4
+        assert thanksgiving(2019) == dt.date(2019, 11, 28)
+        assert black_friday(2019) == dt.date(2019, 11, 29)
+        assert cyber_monday(2019) == dt.date(2019, 12, 2)
+
+    def test_phase_on_before_first_span_is_normal(self):
+        timeline = CovidTimeline.typical_university()
+        day_before = dt.date(2020, 3, 15)
+        assert timeline.phase_on(day_before) is CovidPhase.NORMAL
+        assert timeline.onsite_factor(day_before) == 1.0
+        assert timeline.housing_factor(day_before) == 1.0
+        # Far before any span, even with an unsorted construction.
+        timeline = CovidTimeline(
+            [
+                (dt.date(2021, 1, 1), CovidPhase.HIGH_RISK),
+                (dt.date(2020, 3, 1), CovidPhase.LOCKDOWN),
+            ]
+        )
+        assert timeline.phase_on(dt.date(2019, 12, 31)) is CovidPhase.NORMAL

@@ -91,3 +91,34 @@ class TestHalfOpenWindow:
         dataset = campaign.run(dt.date(2021, 11, 1), dt.date(2021, 11, 3))
         days = {row[0] for row in dataset.error_rows()}
         assert days == {dt.date(2021, 11, 1), dt.date(2021, 11, 2)}
+
+
+class TestCampaignManifestMetrics:
+    """The scan instruments' export_metrics feed the run manifest."""
+
+    def test_rdns_metrics_land_in_manifest(self):
+        from repro.obs import Observability
+
+        world = build_world(seed=7, scale=WorldScale.small())
+        obs = Observability()
+        campaign = SupplementalCampaign(world, obs=obs, fault_plan=None)
+        result = campaign.run(dt.date(2021, 11, 1), dt.date(2021, 11, 2))
+        counters = obs.manifest().metrics["counters"]
+        for key in (
+            "rdns_lookups_total",
+            "rdns_lookups_suppressed_total",
+            "rdns_attempts_total",
+            "rdns_timeouts_total",
+            "rdns_rcode_total",
+            "rdns_ratelimit_acquired_total",
+            "rdns_ratelimit_denied_total",
+        ):
+            assert key in counters, f"{key} missing from campaign manifest"
+        # Every performed lookup yields exactly one observation, so the
+        # manifest counter must equal the dataset's rDNS row count; the
+        # wire attempts include retries and can only be larger.
+        assert counters["rdns_lookups_total"]["value"] == len(result.rdns)
+        assert (
+            counters["rdns_attempts_total"]["value"]
+            >= counters["rdns_lookups_total"]["value"]
+        )
