@@ -37,12 +37,14 @@ from repro.core.pipeline import ReproductionStudy, StudyConfig
 from repro.netsim.faults import FAULT_PROFILES, resolve_fault_plan
 from repro.netsim.internet import WorldScale, build_world
 from repro.netsim.spec import build_world_from_file
+from repro.netsim.worldplan import WorldPlan, synthetic_plan
 from repro.netsim.network import NetworkType
 from repro.netsim.personas import BRIAN_HOSTNAME_LABELS
 from repro.obs import NULL_OBS, Observability, metrics_out_path
 from repro.reporting import TextTable
 from repro.scan import (
     CampaignCache,
+    ShardedCampaign,
     SnapshotCache,
     SupplementalCampaign,
     write_icmp_csv,
@@ -89,6 +91,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--spec", help="build the world from a JSON spec file instead of the built-in one"
+    )
+    parser.add_argument(
+        "--plan",
+        metavar="PATH",
+        default=None,
+        help=(
+            "build the world from a WorldPlan JSON file (see the 'plan' "
+            "command); enables the sharded collection/campaign engines"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help=(
+            "partition a --plan world into N contiguous shards; workers build "
+            "only their shard's networks and results merge byte-identically "
+            "(default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "machine-wide ceiling for every process pool (shard, day-chunk "
+            "and campaign levels share one budget); equivalent to setting "
+            "REPRO_MAX_WORKERS"
+        ),
     )
     parser.add_argument(
         "--workers",
@@ -252,10 +284,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="trailing collected days feeding /leaks and /names (default 7)",
     )
 
+    plan = commands.add_parser(
+        "plan", help="generate a synthetic multi-/16 WorldPlan JSON for sharded runs"
+    )
+    plan.add_argument("--out", required=True, metavar="PATH", help="write the plan JSON here")
+    plan.add_argument(
+        "--slash16s",
+        type=_positive_int,
+        default=4,
+        help="how many /16 networks the plan spans (each is 256 /24s; default 4)",
+    )
+    plan.add_argument(
+        "--people", type=_positive_int, default=12, help="population per network (default 12)"
+    )
+    plan.add_argument(
+        "--zone-layout",
+        choices=("flat", "delegated"),
+        default="delegated",
+        help="reverse-zone layout for every network (default delegated per-/24 children)",
+    )
+    plan.add_argument(
+        "--supplemental-every",
+        type=int,
+        default=2,
+        help="every Nth academic network joins the supplemental campaign (0 = none)",
+    )
+
     return parser
 
 
+def _plan(args) -> Optional[WorldPlan]:
+    if getattr(args, "plan", None):
+        return WorldPlan.load(args.plan)
+    return None
+
+
 def _world(args):
+    plan = _plan(args)
+    if plan is not None:
+        return plan.build()
     if getattr(args, "spec", None):
         return build_world_from_file(args.spec)
     scale = WorldScale.small() if args.quick else None
@@ -295,7 +362,7 @@ def _print_error_report(dataset, out) -> None:
     print(table.render(), file=out)
 
 
-def _print_campaign_timings(campaign: SupplementalCampaign, out) -> None:
+def _print_campaign_timings(campaign, out) -> None:
     metrics = campaign.last_metrics
     if metrics is None:
         return
@@ -310,6 +377,9 @@ def _print_campaign_timings(campaign: SupplementalCampaign, out) -> None:
 def _study_config(args) -> StudyConfig:
     """One StudyConfig from the shared flags (study and serve)."""
     config = StudyConfig.quick(args.seed) if args.quick else StudyConfig(seed=args.seed)
+    config.plan = _plan(args)
+    config.shards = args.shards
+    config.max_workers = args.max_workers
     config.snapshot_workers = args.workers
     config.snapshot_cache = _snapshot_cache(args)
     config.campaign_workers = args.workers
@@ -364,15 +434,30 @@ def cmd_study(args, out) -> int:
 
 def cmd_campaign(args, out) -> int:
     obs = _obs(args)
-    world = _world(args)
     plan = _fault_plan(args)
-    obs.set_run_info(
-        world_fingerprint=world.internet.cache_token(),
-        fault_profile=plan.name if plan is not None else None,
-    )
-    campaign = SupplementalCampaign(
-        world, networks=args.networks, fault_plan=plan, obs=obs
-    )
+    world_plan = _plan(args)
+    if world_plan is not None:
+        # Sharded path: no full world build in this process.
+        obs.set_run_info(
+            world_fingerprint=f"plan:{world_plan.fingerprint()}",
+            fault_profile=plan.name if plan is not None else None,
+        )
+        campaign = ShardedCampaign(
+            world_plan,
+            shards=args.shards,
+            networks=args.networks,
+            fault_plan=plan,
+            obs=obs,
+        )
+    else:
+        world = _world(args)
+        obs.set_run_info(
+            world_fingerprint=world.internet.cache_token(),
+            fault_profile=plan.name if plan is not None else None,
+        )
+        campaign = SupplementalCampaign(
+            world, networks=args.networks, fault_plan=plan, obs=obs
+        )
     try:
         dataset = campaign.run(
             args.start, args.end, workers=args.workers, cache=_campaign_cache(args)
@@ -529,6 +614,24 @@ def cmd_audit(args, out) -> int:
     return 0
 
 
+def cmd_plan(args, out) -> int:
+    plan = synthetic_plan(
+        args.seed,
+        slash16s=args.slash16s,
+        people=args.people,
+        zone_layout=args.zone_layout,
+        supplemental_every=args.supplemental_every,
+    )
+    plan.save(args.out)
+    print(
+        f"wrote plan {plan.fingerprint()[:12]}… to {args.out}: "
+        f"{len(plan.entries)} networks ({args.slash16s * 256:,} /24s of "
+        f"address space), {len(plan.supplemental_names)} supplemental",
+        file=out,
+    )
+    return 0
+
+
 def cmd_serve(args, out) -> int:
     from repro.serve import build_app, run_app
 
@@ -562,6 +665,7 @@ def cmd_serve(args, out) -> int:
 
 
 _COMMANDS = {
+    "plan": cmd_plan,
     "study": cmd_study,
     "serve": cmd_serve,
     "audit": cmd_audit,
@@ -577,6 +681,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     out = out or sys.stdout
+    if args.max_workers is not None:
+        # One shared ceiling for every pool this process (and its
+        # workers) creates — see repro.scan.parallel.worker_cap.
+        import os
+
+        os.environ["REPRO_MAX_WORKERS"] = str(args.max_workers)
     manifest_path = args.metrics_out or metrics_out_path()
     if manifest_path or args.trace:
         args.obs = Observability()

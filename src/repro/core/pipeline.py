@@ -24,9 +24,11 @@ from repro.core.timing import LingeringAnalysis, lingering_analysis
 from repro.netsim.faults import FaultPlan
 from repro.netsim.internet import World, WorldScale, build_world
 from repro.netsim.network import NetworkType
+from repro.netsim.worldplan import WorldPlan
 from repro.obs import Observability, resolve_obs
 from repro.scan.cache import CampaignCache, SnapshotCache
 from repro.scan.campaign import CampaignMetrics, SupplementalCampaign, SupplementalDataset
+from repro.scan.sharded import ShardedCampaign, ShardedCollector
 from repro.scan.snapshot import CollectionMetrics, SnapshotCollector, SnapshotSeries
 
 
@@ -55,6 +57,17 @@ class StudyConfig:
 
     seed: int = 0
     scale: Optional[WorldScale] = None
+    #: Optional :class:`~repro.netsim.worldplan.WorldPlan`.  When set,
+    #: the world builds from the plan (``scale`` is ignored) and the
+    #: snapshot/campaign stages run the sharded engines of
+    #: :mod:`repro.scan.sharded` with ``shards`` partitions — output
+    #: stays byte-identical to an unsharded run over the same plan.
+    plan: Optional[WorldPlan] = None
+    shards: int = 1
+    #: Ceiling on every process pool this study creates.  ``None``
+    #: defers to the machine-wide :func:`repro.scan.parallel.worker_cap`
+    #: (itself overridable via ``REPRO_MAX_WORKERS``).
+    max_workers: Optional[int] = None
     dynamicity_start: dt.date = dt.date(2021, 1, 1)
     dynamicity_end: dt.date = dt.date(2021, 4, 1)
     dynamicity_thresholds: DynamicityThresholds = field(default_factory=DynamicityThresholds)
@@ -88,6 +101,12 @@ class StudyConfig:
             supplemental_end=dt.date(2021, 11, 4),
         )
 
+    def capped_workers(self, requested: int) -> int:
+        """``requested`` bounded by the study-level ``max_workers``."""
+        if self.max_workers is None:
+            return requested
+        return max(1, min(requested, self.max_workers))
+
 
 class ReproductionStudy:
     """Lazily materialises every stage of the reproduction."""
@@ -120,11 +139,18 @@ class ReproductionStudy:
     def world(self) -> World:
         if self._world is None:
             with self.obs.span("build_world") as span:
-                self._world = build_world(seed=self.config.seed, scale=self.config.scale)
+                if self.config.plan is not None:
+                    self._world = self.config.plan.build()
+                else:
+                    self._world = build_world(seed=self.config.seed, scale=self.config.scale)
                 span.set("networks", len(self._world.internet))
             self.obs.set_run_info(
                 seed=self.config.seed,
-                world_fingerprint=self._world.internet.cache_token(),
+                world_fingerprint=(
+                    f"plan:{self.config.plan.fingerprint()}"
+                    if self.config.plan is not None
+                    else self._world.internet.cache_token()
+                ),
             )
         return self._world
 
@@ -132,16 +158,29 @@ class ReproductionStudy:
         """Daily snapshots over the dynamicity window (OpenINTEL-style)."""
         if self._daily_series is None:
             with self.obs.span("daily_series"):
-                collector = SnapshotCollector.openintel_style(
-                    self.world.internet, obs=self.obs
-                )
-                self._daily_series = collector.collect(
-                    self.config.dynamicity_start,
-                    self.config.dynamicity_end,
-                    workers=self.config.snapshot_workers,
-                    cache=self.config.snapshot_cache,
-                )
-                self.collection_metrics = collector.last_metrics
+                workers = self.config.capped_workers(self.config.snapshot_workers)
+                if self.config.plan is not None:
+                    sharded = ShardedCollector(
+                        self.config.plan, shards=self.config.shards, obs=self.obs
+                    )
+                    self._daily_series = sharded.collect(
+                        self.config.dynamicity_start,
+                        self.config.dynamicity_end,
+                        workers=workers,
+                        cache=self.config.snapshot_cache,
+                    )
+                    self.collection_metrics = sharded.last_metrics
+                else:
+                    collector = SnapshotCollector.openintel_style(
+                        self.world.internet, obs=self.obs
+                    )
+                    self._daily_series = collector.collect(
+                        self.config.dynamicity_start,
+                        self.config.dynamicity_end,
+                        workers=workers,
+                        cache=self.config.snapshot_cache,
+                    )
+                    self.collection_metrics = collector.last_metrics
         return self._daily_series
 
     def dynamicity(self) -> DynamicityReport:
@@ -197,16 +236,26 @@ class ReproductionStudy:
     def supplemental(self) -> SupplementalDataset:
         """Section 6.1: run the supplemental campaign."""
         if self._supplemental is None:
-            world = self.world
             with self.obs.span("supplemental"):
-                if self.config.fault_plan is not None:
-                    campaign = SupplementalCampaign(
-                        world, fault_plan=self.config.fault_plan, obs=self.obs
-                    )
-                else:
+                workers = self.config.capped_workers(self.config.campaign_workers)
+                fault_kwargs = (
+                    {"fault_plan": self.config.fault_plan}
+                    if self.config.fault_plan is not None
                     # No explicit plan: the campaign consults the
                     # REPRO_FAULT_PROFILE environment variable itself.
-                    campaign = SupplementalCampaign(world, obs=self.obs)
+                    else {}
+                )
+                if self.config.plan is not None:
+                    campaign = ShardedCampaign(
+                        self.config.plan,
+                        shards=self.config.shards,
+                        obs=self.obs,
+                        **fault_kwargs,
+                    )
+                else:
+                    campaign = SupplementalCampaign(
+                        self.world, obs=self.obs, **fault_kwargs
+                    )
                 self.obs.set_run_info(
                     fault_profile=(
                         campaign.fault_plan.name
@@ -217,7 +266,7 @@ class ReproductionStudy:
                 self._supplemental = campaign.run(
                     self.config.supplemental_start,
                     self.config.supplemental_end,
-                    workers=self.config.campaign_workers,
+                    workers=workers,
                     cache=self.config.campaign_cache,
                 )
                 self.campaign_metrics = campaign.last_metrics

@@ -17,12 +17,18 @@ from repro.dns.errors import (
     ZoneError,
 )
 from repro.dns.message import DnsMessage, Question
-from repro.dns.name import DomainName, from_reverse_pointer, reverse_pointer
+from repro.dns.name import (
+    DomainName,
+    from_reverse_pointer,
+    reverse_pointer,
+    reverse_zone_origin,
+    rfc2317_zone_origin,
+)
 from repro.dns.rcode import Opcode, Rcode, RecordClass, RecordType
 from repro.dns.records import ResourceRecord, RRset, make_ptr
 from repro.dns.resolver import ResolutionResult, ResolutionStatus, ServerHealth, StubResolver
 from repro.dns.server import AuthoritativeServer, FailureModel, ServerBehavior
-from repro.dns.zone import ReverseZone, ZoneChange, ZoneChangeKind
+from repro.dns.zone import RdnsMode, ReverseZone, ZoneChange, ZoneChangeKind
 
 __all__ = [
     "AuthoritativeServer",
@@ -36,6 +42,7 @@ __all__ = [
     "Opcode",
     "Question",
     "Rcode",
+    "RdnsMode",
     "RecordClass",
     "RecordType",
     "ResolutionResult",
@@ -52,4 +59,6 @@ __all__ = [
     "from_reverse_pointer",
     "make_ptr",
     "reverse_pointer",
+    "reverse_zone_origin",
+    "rfc2317_zone_origin",
 ]

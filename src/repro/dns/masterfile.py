@@ -26,6 +26,8 @@ def dump_zone(zone: Zone) -> str:
         zone.soa_record.to_text(),
     ]
     if isinstance(zone, ReverseZone):
+        for record in zone.glue_records():
+            lines.append(record.to_text())
         for record in zone.records():
             lines.append(record.to_text())
     else:
@@ -77,10 +79,19 @@ def load_reverse_zone(text: str, prefix: str) -> ReverseZone:
             raise ZoneError(f"line {line_number}: unsupported class {rclass!r}")
         if rtype.upper() == "SOA":
             continue
+        if rtype.upper() == "CNAME":
+            # RFC 2317 glue hosted by a covering zone round-trips as-is.
+            zone.add_glue_cname(DomainName.parse(name_text), DomainName.parse(tokens[4]))
+            continue
         if rtype.upper() != "PTR":
             raise ZoneError(f"line {line_number}: unsupported type {rtype!r} in reverse zone")
         name = DomainName.parse(name_text)
-        address = from_reverse_pointer(name)
+        if zone.rfc2317:
+            address = zone.address_for_name(name)
+            if address is None:
+                raise ZoneError(f"line {line_number}: {name} is not in zone {zone.origin}")
+        else:
+            address = from_reverse_pointer(name)
         hostname = tokens[4].rstrip(".")
         zone.set_ptr(address, hostname, ttl=int(ttl_text) if ttl_text.isdigit() else default_ttl)
     return zone

@@ -208,9 +208,41 @@ def reverse_zone_origin(prefix: Union[str, ipaddress.IPv4Network]) -> DomainName
 
     Only octet-aligned prefixes (/8, /16, /24) have a single classless-free
     origin; other lengths are rounded down to the covering octet boundary,
-    which matches how operators commonly delegate reverse space.
+    which matches how operators commonly delegate reverse space.  Zones
+    for sub-/24 prefixes should use :func:`rfc2317_zone_origin` instead —
+    the rounded origin here would claim the whole covering /24.
     """
     network = ipaddress.IPv4Network(prefix)
     kept_octets = network.prefixlen // 8
     octets = str(network.network_address).split(".")[:kept_octets]
     return DomainName(tuple(octets[::-1]) + _REVERSE_V4_SUFFIX)
+
+
+def rfc2317_zone_label(prefix: Union[str, ipaddress.IPv4Network]) -> str:
+    """The RFC 2317 child-zone label for a sub-/24 prefix.
+
+    The customary ``<first>-<prefixlen>`` form (e.g. ``0-29`` for
+    ``192.0.2.0/29``); RFC 2317 leaves the exact convention open, but
+    this dash form is the one its examples use and the one MAAS-style
+    zone generators emit.
+    """
+    network = ipaddress.IPv4Network(prefix)
+    if network.prefixlen <= 24:
+        raise LabelError(
+            f"{network} is not a sub-/24 prefix; RFC 2317 delegation only "
+            "applies below the /24 boundary"
+        )
+    first_octet = int(network.network_address) & 0xFF
+    return f"{first_octet}-{network.prefixlen}"
+
+
+def rfc2317_zone_origin(prefix: Union[str, ipaddress.IPv4Network]) -> DomainName:
+    """The RFC 2317 classless reverse-zone origin for a sub-/24 prefix.
+
+    >>> rfc2317_zone_origin("192.0.2.0/29").to_text()
+    '0-29.2.0.192.in-addr.arpa.'
+    """
+    network = ipaddress.IPv4Network(prefix)
+    label = rfc2317_zone_label(network)
+    covering = network.supernet(new_prefix=24)
+    return reverse_zone_origin(covering).child(label)

@@ -25,6 +25,10 @@ from repro.dns.server import AuthoritativeServer
 DEFAULT_TIMEOUT_SECONDS = 5.0
 DEFAULT_RETRIES = 1
 
+#: How many CNAME links a single lookup may follow (RFC 2317 glue chains
+#: are one link deep; the bound exists to stop glue loops, not real use).
+MAX_CNAME_CHAIN = 8
+
 
 class ResolutionStatus(enum.Enum):
     """Outcome classes, matching the paper's Figure 6 categories.
@@ -192,63 +196,81 @@ class StubResolver:
 
         ``at`` (simulation seconds) and ``network`` key the fault plan's
         deterministic draws; both are optional and ignored when no plan
-        is attached.
+        is attached.  CNAME answers — the RFC 2317 classless-delegation
+        glue — are followed up to :data:`MAX_CNAME_CHAIN` links, each
+        link re-routed through the delegation table.
         """
-        server = self.server_for(name)
-        if server is None:
-            status = ResolutionStatus.NO_SERVER
-            self.status_counts[status] = self.status_counts.get(status, 0) + 1
-            return ResolutionResult(name, status)
+        original = name
         attempts = 0
         elapsed = 0.0
-        timeouts = 0
-        response: Optional[DnsMessage] = None
-        for _ in range(self.retries + 1):
-            attempts += 1
-            self.queries_sent += 1
-            query = DnsMessage.query(name, RecordType.PTR, msg_id=next(self._msg_ids))
-            try:
-                response = server.handle(
-                    query, at=at, network=network, faults=self.fault_plan
+        for _ in range(MAX_CNAME_CHAIN + 1):
+            server = self.server_for(name)
+            if server is None:
+                status = ResolutionStatus.NO_SERVER
+                self.status_counts[status] = self.status_counts.get(status, 0) + 1
+                return ResolutionResult(
+                    original, status, attempts=max(attempts, 1), elapsed_seconds=elapsed
                 )
-            except NoSuchZoneError:
-                response = query.response(Rcode.REFUSED)
-            if response is not None:
-                break
-            timeouts += 1
-            delay = self.backoff_delay(name, attempts)
-            if delay > 0:
-                self.backoff_waits += 1
-                self.backoff_seconds_total += delay
-            elapsed += self.timeout_seconds + delay
-        self.timeouts_seen += timeouts
-        self.retries_sent += attempts - 1
-        if response is None:
-            status = ResolutionStatus.TIMEOUT
-        elif response.rcode is Rcode.NXDOMAIN:
-            status = ResolutionStatus.NXDOMAIN
-        elif response.rcode is Rcode.NOERROR and response.answers:
-            status = ResolutionStatus.NOERROR
-        elif response.rcode is Rcode.NOERROR:
-            # NODATA for PTR behaves like a missing record for our purposes.
-            status = ResolutionStatus.NXDOMAIN
-        elif response.rcode is Rcode.REFUSED:
-            status = ResolutionStatus.REFUSED
-        else:
-            status = ResolutionStatus.SERVFAIL
+            timeouts = 0
+            link_attempts = 0
+            response: Optional[DnsMessage] = None
+            for _ in range(self.retries + 1):
+                attempts += 1
+                link_attempts += 1
+                self.queries_sent += 1
+                query = DnsMessage.query(name, RecordType.PTR, msg_id=next(self._msg_ids))
+                try:
+                    response = server.handle(
+                        query, at=at, network=network, faults=self.fault_plan
+                    )
+                except NoSuchZoneError:
+                    response = query.response(Rcode.REFUSED)
+                if response is not None:
+                    break
+                timeouts += 1
+                delay = self.backoff_delay(name, link_attempts)
+                if delay > 0:
+                    self.backoff_waits += 1
+                    self.backoff_seconds_total += delay
+                elapsed += self.timeout_seconds + delay
+            self.timeouts_seen += timeouts
+            self.retries_sent += link_attempts - 1
+            if response is None:
+                status = ResolutionStatus.TIMEOUT
+            elif response.rcode is Rcode.NXDOMAIN:
+                status = ResolutionStatus.NXDOMAIN
+            elif response.rcode is Rcode.NOERROR and response.answers:
+                status = ResolutionStatus.NOERROR
+            elif response.rcode is Rcode.NOERROR:
+                # NODATA for PTR behaves like a missing record for our purposes.
+                status = ResolutionStatus.NXDOMAIN
+            elif response.rcode is Rcode.REFUSED:
+                status = ResolutionStatus.REFUSED
+            else:
+                status = ResolutionStatus.SERVFAIL
+            health = self.server_health.get(server.name)
+            if health is None:
+                health = self.server_health[server.name] = ServerHealth()
+            health.record(status, timeouts)
+            if (
+                status is ResolutionStatus.NOERROR
+                and response is not None
+                and response.answers[0].rtype is RecordType.CNAME
+            ):
+                target = response.answers[0].rdata
+                if isinstance(target, DomainName):
+                    name = target
+                    continue
+                status = ResolutionStatus.SERVFAIL
+            self.status_counts[status] = self.status_counts.get(status, 0) + 1
+            hostname: Optional[str] = None
+            if status is ResolutionStatus.NOERROR and response is not None:
+                hostname = response.answers[0].rdata_text().rstrip(".")
+            return ResolutionResult(original, status, hostname, attempts, elapsed)
+        # Chain longer than MAX_CNAME_CHAIN: a glue loop, effectively broken.
+        status = ResolutionStatus.SERVFAIL
         self.status_counts[status] = self.status_counts.get(status, 0) + 1
-        health = self.server_health.get(server.name)
-        if health is None:
-            health = self.server_health[server.name] = ServerHealth()
-        health.record(status, timeouts)
-        if response is None:
-            return ResolutionResult(
-                name, ResolutionStatus.TIMEOUT, attempts=attempts, elapsed_seconds=elapsed
-            )
-        hostname: Optional[str] = None
-        if status is ResolutionStatus.NOERROR:
-            hostname = response.answers[0].rdata_text().rstrip(".")
-        return ResolutionResult(name, status, hostname, attempts, elapsed)
+        return ResolutionResult(original, status, attempts=attempts, elapsed_seconds=elapsed)
 
     def resolve_ptr(
         self, address: IPAddress, *, at: Optional[int] = None, network: str = ""

@@ -47,6 +47,12 @@ from repro.netsim.faults import (
     resolve_fault_plan,
 )
 from repro.netsim.spec import build_world_from_file, build_world_from_spec, validate_spec
+from repro.netsim.worldplan import (
+    LazyPlanInternet,
+    PlanError,
+    WorldPlan,
+    synthetic_plan,
+)
 
 __all__ = [
     "CovidPhase",
@@ -61,6 +67,7 @@ __all__ = [
     "HolidayCalendar",
     "IcmpPolicy",
     "Internet",
+    "LazyPlanInternet",
     "MINUTE",
     "MODEL_CATALOG",
     "Network",
@@ -68,6 +75,7 @@ __all__ = [
     "NetworkType",
     "OutageWindow",
     "Person",
+    "PlanError",
     "PersonGenerator",
     "PresenceProfile",
     "ProfileKind",
@@ -78,6 +86,7 @@ __all__ = [
     "Subnet",
     "SubnetRole",
     "WEEK",
+    "WorldPlan",
     "black_friday",
     "build_world_from_file",
     "build_world_from_spec",
@@ -85,6 +94,7 @@ __all__ = [
     "from_datetime",
     "plan_from_profile",
     "resolve_fault_plan",
+    "synthetic_plan",
     "thanksgiving",
     "to_datetime",
     "ts",

@@ -51,7 +51,15 @@ class _SubnetRuntime:
             lease_time=network.lease_time,
         )
         assert subnet.policy is not None
-        self.ipam = IpamSystem(network.zone, subnet.policy).attach(self.server)
+        # Route PTR writes to the zone actually serving this subnet —
+        # a delegated per-/24 child or RFC 2317 classless zone when the
+        # network uses those layouts, the apex zone otherwise.  A
+        # DISABLED subnet keeps DHCP churning but publishes nothing.
+        zone = network.zone_for_subnet(subnet)
+        if zone is None:
+            self.ipam = None
+        else:
+            self.ipam = IpamSystem(zone, subnet.policy).attach(self.server)
 
 
 class NetworkRuntime:

@@ -115,6 +115,10 @@ class Internet:
                         f"holidays={network.holidays!r}",
                         f"covid={network.covid!r}",
                     ]
+                    # Zone layout only affects the DNS-serving side, but
+                    # it is still world shape; appended only when
+                    # non-default so historical tokens stay stable.
+                    + ([f"layout={network.zone_layout}"] if network.zone_layout != "flat" else [])
                 )
             )
             for subnet in network.subnets:
@@ -134,9 +138,11 @@ class Internet:
                     backing = "static=" + ",".join(
                         f"{address}={hostname}" for address, hostname in subnet.static_entries
                     )
+                mode = subnet.rdns_mode
+                mode_marker = "" if mode.value == "enabled" else f"|rdns={mode.value}"
                 parts.append(
                     f"  {subnet.prefix}|{subnet.role.value}"
-                    f"|policy={type(subnet.policy).__name__}|{backing}"
+                    f"|policy={type(subnet.policy).__name__}|{backing}{mode_marker}"
                 )
         digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
         return digest.hexdigest()

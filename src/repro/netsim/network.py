@@ -26,11 +26,11 @@ import ipaddress
 import random
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.dhcp.lease import Lease
 from repro.dns.server import AuthoritativeServer, FailureModel
-from repro.dns.zone import ReverseZone
+from repro.dns.zone import RdnsMode, ReverseZone
 from repro.ipam.policy import CarryOverPolicy, DnsUpdatePolicy
 from repro.netsim.calendar import CovidTimeline, HolidayCalendar
 from repro.netsim.device import Device
@@ -100,6 +100,7 @@ class Subnet:
         policy: Optional[DnsUpdatePolicy] = None,
         count_template: str = "client-{dashed}",
         count_suffix: Optional[str] = None,
+        rdns_mode: "Union[str, RdnsMode]" = RdnsMode.ENABLED,
     ):
         self.prefix = ipaddress.IPv4Network(prefix)
         self.role = role
@@ -109,8 +110,15 @@ class Subnet:
         self.policy = policy
         self.count_template = count_template
         self.count_suffix = count_suffix
+        #: How reverse DNS is published for this prefix: ENABLED (the
+        #: conventional zone), DISABLED (no PTRs at all) or RFC2317
+        #: (classless child zone behind CNAME glue; sub-/24 only).
+        self.rdns_mode = RdnsMode.parse(rdns_mode)
+        if self.rdns_mode is RdnsMode.RFC2317 and self.prefix.prefixlen <= 24:
+            raise ValueError(
+                f"rdns_mode=rfc2317 needs a sub-/24 prefix, got {self.prefix}"
+            )
         self._validate()
-        self._addresses = list(self.prefix)
         self._device_fqdn_cache: Dict[str, str] = {}
         self._provisioned_cache: Optional[List[Tuple[ipaddress.IPv4Address, str]]] = None
         usable = self.prefix.num_addresses - RESERVED_LOW_ADDRESSES - 1
@@ -140,8 +148,11 @@ class Subnet:
 
         Stability across days is what lets an outside observer track a
         device over time (the colour-coded bars of Figure 8).
+
+        Addresses are computed, not materialised: a sharded 100k-prefix
+        world would otherwise hold 256 ``IPv4Address`` objects per /24.
         """
-        return self._addresses[RESERVED_LOW_ADDRESSES + index]
+        return self.prefix.network_address + (RESERVED_LOW_ADDRESSES + index)
 
     def device_fqdn(self, index: int) -> Optional[str]:
         """The PTR hostname published for the index-th device, if any."""
@@ -162,7 +173,7 @@ class Subnet:
         return fqdn
 
     def _count_address(self, index: int) -> ipaddress.IPv4Address:
-        return self._addresses[RESERVED_LOW_ADDRESSES + index]
+        return self.prefix.network_address + (RESERVED_LOW_ADDRESSES + index)
 
     def _count_fqdn(self, address: ipaddress.IPv4Address) -> str:
         label = self.count_template.format(
@@ -192,6 +203,8 @@ class Subnet:
         (point-in-time snapshot semantics); ``None`` means present at
         any time that day.
         """
+        if self.rdns_mode is RdnsMode.DISABLED:
+            return
         if not self.role.is_dynamic:
             yield from self.static_entries
             return
@@ -222,7 +235,9 @@ class Subnet:
         if self._provisioned_cache is None:
             entries: List[Tuple[ipaddress.IPv4Address, str]] = []
             assert self.policy is not None
-            for address in self._addresses[RESERVED_LOW_ADDRESSES:-1]:
+            base = self.prefix.network_address
+            for offset in range(RESERVED_LOW_ADDRESSES, self.prefix.num_addresses - 1):
+                address = base + offset
                 hostname = self.policy.static_hostname_for(address)
                 if hostname is not None:
                     entries.append((address, hostname))
@@ -238,6 +253,8 @@ class Subnet:
         at_offset: Optional[int] = None,
     ) -> int:
         """Number of PTR records present on ``day`` (cheap path)."""
+        if self.rdns_mode is RdnsMode.DISABLED:
+            return 0
         if not self.role.is_dynamic:
             return len(self.static_entries)
         if self.count_model is not None:
@@ -288,6 +305,7 @@ class Network:
         covid: Optional[CovidTimeline] = None,
         dns_failure_model: Optional[FailureModel] = None,
         rngs: Optional[RngStreams] = None,
+        zone_layout: str = "flat",
     ):
         self.name = name
         self.net_type = net_type
@@ -314,11 +332,24 @@ class Network:
         self._slash24_cache: Dict[ipaddress.IPv4Network, str] = {}
         self._records_cache: "OrderedDict[Tuple[dt.date, Optional[int]], List[Tuple[ipaddress.IPv4Address, str]]]" = OrderedDict()
         self._counts_cache: "OrderedDict[Tuple[dt.date, Optional[int]], Dict[str, int]]" = OrderedDict()
+        if zone_layout not in ("flat", "delegated"):
+            raise ValueError("zone_layout must be 'flat' or 'delegated'")
+        #: "flat" serves the whole network prefix from one apex zone (the
+        #: historical layout); "delegated" gives every populated /24 its
+        #: own child zone under the apex — the per-shard delegation the
+        #: sharded world model serves (``16.172.in-addr.arpa`` → per-/24
+        #: children, RFC 2317 glue below the /24 boundary).
+        self.zone_layout = zone_layout
         self.zone = ReverseZone(self.prefix, primary_ns=f"ns1.{self.suffix}")
         self.server = AuthoritativeServer(
             f"ns1.{self.suffix}", failure_model=dns_failure_model
         )
         self.server.add_zone(self.zone)
+        #: Zone serving each subnet's PTRs, keyed by subnet prefix; None
+        #: for DISABLED subnets (nothing is published).
+        self._subnet_zones: Dict[ipaddress.IPv4Network, Optional[ReverseZone]] = {}
+        #: Delegated per-/24 child zones (and RFC 2317 glue hosts).
+        self._slash24_zones: Dict[ipaddress.IPv4Network, ReverseZone] = {}
         for subnet in subnets or []:
             self.add_subnet(subnet)
 
@@ -328,8 +359,76 @@ class Network:
         for existing in self.subnets:
             if subnet.prefix.overlaps(existing.prefix):
                 raise ValueError(f"{subnet.prefix} overlaps {existing.prefix}")
+        self._wire_subnet_zone(subnet)
         self.subnets.append(subnet)
         self.clear_day_caches()
+
+    # -- zone layout -------------------------------------------------------
+
+    def _slash24_child_zone(self, slash24: ipaddress.IPv4Network) -> ReverseZone:
+        zone = self._slash24_zones.get(slash24)
+        if zone is None:
+            zone = ReverseZone(slash24, primary_ns=f"ns1.{self.suffix}")
+            self.server.add_zone(zone)
+            self._slash24_zones[slash24] = zone
+        return zone
+
+    def _wire_subnet_zone(self, subnet: Subnet) -> None:
+        """Decide (and create) the zone that serves ``subnet``'s PTRs."""
+        if subnet.rdns_mode is RdnsMode.DISABLED:
+            self._subnet_zones[subnet.prefix] = None
+            return
+        sub24 = subnet.prefix.prefixlen > 24
+        if subnet.rdns_mode is RdnsMode.RFC2317:
+            # Classless child zone; CNAME glue lives in the zone that is
+            # conventionally authoritative for the covering /24 — the
+            # per-/24 child under a delegated layout, the apex otherwise.
+            child = ReverseZone(subnet.prefix, primary_ns=f"ns1.{self.suffix}")
+            covering = subnet.prefix.supernet(new_prefix=24)
+            if self.zone_layout == "delegated":
+                host = self._slash24_child_zone(covering)
+            else:
+                host = self.zone
+            host.add_rfc2317_glue(child)
+            self.server.add_zone(child)
+            self._subnet_zones[subnet.prefix] = child
+            return
+        if self.zone_layout == "delegated" and subnet.prefix.prefixlen >= 24:
+            covering = (
+                subnet.prefix
+                if subnet.prefix.prefixlen == 24
+                else subnet.prefix.supernet(new_prefix=24)
+            )
+            self._subnet_zones[subnet.prefix] = self._slash24_child_zone(covering)
+            return
+        # Flat layout, or a subnet wider than /24 (served from the apex).
+        self._subnet_zones[subnet.prefix] = self.zone
+
+    def zone_for_subnet(self, subnet: Subnet) -> Optional[ReverseZone]:
+        """The zone PTRs for ``subnet`` land in (None when rDNS is off)."""
+        return self._subnet_zones.get(subnet.prefix, self.zone)
+
+    def zone_for_address(self, address) -> Optional[ReverseZone]:
+        """The most specific zone covering ``address``."""
+        ip = (
+            address
+            if isinstance(address, ipaddress.IPv4Address)
+            else ipaddress.ip_address(address)
+        )
+        best: Optional[ReverseZone] = None
+        for prefix, zone in self._subnet_zones.items():
+            if ip in prefix and zone is not None:
+                if best is None or prefix.prefixlen > best.prefix.prefixlen:
+                    best = zone
+        if best is not None:
+            return best
+        if ip in self.prefix:
+            return self.zone
+        return None
+
+    def zones(self) -> List[ReverseZone]:
+        """Every zone this network serves, apex first."""
+        return list(self.server.zones())
 
     def clear_day_caches(self) -> None:
         """Drop memoised per-day records/counts (after topology changes)."""

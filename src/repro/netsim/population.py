@@ -22,6 +22,7 @@ from repro.netsim.network import (
     IcmpPolicy,
     Network,
     NetworkType,
+    RdnsMode,
     Subnet,
     SubnetRole,
 )
@@ -151,8 +152,15 @@ class NetworkBuilder:
         policy: Optional[DnsUpdatePolicy] = None,
         extra_education_devices: Sequence[Device] = (),
         extra_housing_devices: Sequence[Device] = (),
+        rdns_mode: "str | RdnsMode" = RdnsMode.ENABLED,
+        zone_layout: str = "flat",
     ) -> Network:
-        """A campus: education buildings, optional housing, servers."""
+        """A campus: education buildings, optional housing, servers.
+
+        ``rdns_mode`` applies to the dynamic (education/housing) subnets;
+        static server/infrastructure records are always published.
+        """
+        rdns_mode = RdnsMode.parse(rdns_mode)
         generator = self._generator(name)
         policy = policy or CarryOverPolicy(suffix)
         holidays = HolidayCalendar(
@@ -169,6 +177,7 @@ class NetworkBuilder:
             holidays=holidays,
             covid=covid or CovidTimeline.typical_university(),
             rngs=self.rngs,
+            zone_layout=zone_layout,
         )
         education_people = generator.make_population(
             staff, id_prefix=f"{name}-staff", profile_kind=ProfileKind.OFFICE_WORKER
@@ -177,7 +186,7 @@ class NetworkBuilder:
         )
         education_devices = _take_devices(education_people) + list(extra_education_devices)
         network.add_subnet(
-            Subnet(education_prefix, SubnetRole.EDUCATION, devices=education_devices, policy=policy)
+            Subnet(education_prefix, SubnetRole.EDUCATION, devices=education_devices, policy=policy, rdns_mode=rdns_mode)
         )
         if housing_prefix is not None:
             housing_people = generator.make_population(
@@ -185,7 +194,7 @@ class NetworkBuilder:
             )
             housing_devices = _take_devices(housing_people) + list(extra_housing_devices)
             network.add_subnet(
-                Subnet(housing_prefix, SubnetRole.HOUSING, devices=housing_devices, policy=policy)
+                Subnet(housing_prefix, SubnetRole.HOUSING, devices=housing_devices, policy=policy, rdns_mode=rdns_mode)
             )
         if servers_prefix is not None:
             network.add_subnet(
@@ -221,8 +230,11 @@ class NetworkBuilder:
         covid: Optional[CovidTimeline] = None,
         policy: Optional[DnsUpdatePolicy] = None,
         net_type: NetworkType = NetworkType.ENTERPRISE,
+        rdns_mode: "str | RdnsMode" = RdnsMode.ENABLED,
+        zone_layout: str = "flat",
     ) -> Network:
         """An office network of 9-to-5 workers."""
+        rdns_mode = RdnsMode.parse(rdns_mode)
         generator = self._generator(name)
         policy = policy or CarryOverPolicy(suffix)
         network = Network(
@@ -235,12 +247,13 @@ class NetworkBuilder:
             holidays=HolidayCalendar(observes_thanksgiving=True, fall_break=False),
             covid=covid or CovidTimeline.late_lockdown_enterprise(),
             rngs=self.rngs,
+            zone_layout=zone_layout,
         )
         people = generator.make_population(
             employees, id_prefix=f"{name}-emp", profile_kind=ProfileKind.OFFICE_WORKER
         )
         network.add_subnet(
-            Subnet(office_prefix, SubnetRole.DYNAMIC_CLIENTS, devices=_take_devices(people), policy=policy)
+            Subnet(office_prefix, SubnetRole.DYNAMIC_CLIENTS, devices=_take_devices(people), policy=policy, rdns_mode=rdns_mode)
         )
         if servers_prefix is not None:
             network.add_subnet(
@@ -270,6 +283,8 @@ class NetworkBuilder:
         icmp_response_rate: float = 0.35,
         carry_over_names: bool = True,
         covid: Optional[CovidTimeline] = None,
+        rdns_mode: "str | RdnsMode" = RdnsMode.ENABLED,
+        zone_layout: str = "flat",
     ) -> Network:
         """A residential access network.
 
@@ -280,6 +295,7 @@ class NetworkBuilder:
         and ISP-C see under 2% responsiveness.
         """
         generator = self._generator(name, release_rate=0.6)
+        rdns_mode = RdnsMode.parse(rdns_mode)
         if carry_over_names:
             policy: DnsUpdatePolicy = CarryOverPolicy(suffix)
         else:
@@ -294,6 +310,7 @@ class NetworkBuilder:
             holidays=HolidayCalendar(fall_break=False, christmas_break=False),
             covid=covid or CovidTimeline.none(),
             rngs=self.rngs,
+            zone_layout=zone_layout,
         )
         people = generator.make_population(
             subscribers, id_prefix=f"{name}-sub", profile_kind=ProfileKind.RESIDENT
@@ -303,7 +320,7 @@ class NetworkBuilder:
         for device in devices:
             device.icmp_responds = rng.random() < icmp_response_rate
         network.add_subnet(
-            Subnet(access_prefix, SubnetRole.DYNAMIC_CLIENTS, devices=devices, policy=policy)
+            Subnet(access_prefix, SubnetRole.DYNAMIC_CLIENTS, devices=devices, policy=policy, rdns_mode=rdns_mode)
         )
         if infrastructure_prefix is not None:
             network.add_subnet(
@@ -328,6 +345,8 @@ class NetworkBuilder:
         dynamic_mean: int = 60,
         vanity: bool = False,
         vanity_hosting_24s: int = 0,
+        rdns_mode: "str | RdnsMode" = RdnsMode.ENABLED,
+        zone_layout: str = "flat",
     ) -> Network:
         """Background space for Internet-scale realism (Figure 1).
 
@@ -340,8 +359,10 @@ class NetworkBuilder:
         """
         from repro.netsim.network import CountModel
 
+        rdns_mode = RdnsMode.parse(rdns_mode)
         network = Network(
-            name, NetworkType.OTHER, prefix, suffix, rngs=self.rngs
+            name, NetworkType.OTHER, prefix, suffix, rngs=self.rngs,
+            zone_layout=zone_layout,
         )
         slash24s = list(ipaddress.IPv4Network(prefix).subnets(new_prefix=24))
         rng = self.rngs.stream("background", name)
@@ -372,6 +393,7 @@ class NetworkBuilder:
                     SubnetRole.DYNAMIC_CLIENTS,
                     count_model=CountModel(mean=min(mean, 220)),
                     count_suffix=f"dyn.{suffix}",
+                    rdns_mode=rdns_mode,
                 )
             )
         return network

@@ -31,6 +31,8 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
+from repro.scan.parallel import worker_cap
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scan.campaign import NetworkCampaignResult, SupplementalCampaign
 
@@ -40,15 +42,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _WORKER_STATE: Optional[Tuple[object, object, int, float, list, object]] = None
 
 
-def effective_campaign_workers(requested: int, networks: int) -> int:
+def effective_campaign_workers(requested: int, work_units: int) -> int:
     """Cap the requested pool size so parallelism never loses to serial.
 
-    More workers than networks just idle; more workers than cores just
+    ``work_units`` is the number of tasks actually submitted to the
+    pool — per-network campaigns for a plain supplemental run, per-shard
+    batches for a sharded run.  Capping at the *network* count (the
+    historical behaviour) starved shard-batched runs, where one
+    submission carries many networks: a 2-batch run over 9 networks
+    must size the pool by its 2 submissions, not its 9 networks.
+    More workers than work units just idle; more workers than the
+    machine-wide :func:`~repro.scan.parallel.worker_cap` just
     context-switch.  Anything that caps to one means "run serial".
     """
-    if requested < 2 or networks < 2:
+    if requested < 2 or work_units < 2:
         return 1
-    capped = min(requested, os.cpu_count() or 1, networks)
+    capped = min(requested, worker_cap(), work_units)
     return capped if capped >= 2 else 1
 
 

@@ -48,26 +48,81 @@ MIN_DAYS_PER_WORKER = 8
 _WORKER_STATE: Optional[Tuple[object, Optional[List[str]], Optional[int]]] = None
 
 
+#: Default ceiling on automatic pool sizing.  Large shard runs want the
+#: whole machine; ``REPRO_MAX_WORKERS`` lifts (or lowers) the ceiling.
+DEFAULT_WORKER_CEILING = 8
+
+
+def worker_cap() -> int:
+    """The machine-wide ceiling for any pool this process creates.
+
+    ``REPRO_MAX_WORKERS`` overrides everything — including the core
+    count, which is an explicit opt-in to oversubscription (useful to
+    exercise real pools on small CI hosts).  Without it, the cap is the
+    core count, bounded by :data:`DEFAULT_WORKER_CEILING`.
+    """
+    env = os.environ.get("REPRO_MAX_WORKERS", "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError as exc:
+            raise ValueError(f"REPRO_MAX_WORKERS must be an integer, got {env!r}") from exc
+        if value < 1:
+            raise ValueError(f"REPRO_MAX_WORKERS must be >= 1, got {value}")
+        return value
+    return min(os.cpu_count() or 1, DEFAULT_WORKER_CEILING)
+
+
 def default_workers() -> int:
-    """A sensible worker count: the CPUs available, capped at 8."""
-    return min(os.cpu_count() or 1, 8)
+    """A sensible worker count: the machine-wide :func:`worker_cap`."""
+    return worker_cap()
 
 
 def effective_workers(requested: int, day_count: int) -> int:
     """Cap the requested pool size so parallelism never loses to serial.
 
-    More workers than cores just context-switch; more workers than
-    ``day_count / MIN_DAYS_PER_WORKER`` spend their time on pool
-    start-up.  Anything that caps to one means "run serial".
+    More workers than the :func:`worker_cap` just context-switch; more
+    workers than ``day_count / MIN_DAYS_PER_WORKER`` spend their time on
+    pool start-up.  Anything that caps to one means "run serial".
     """
     if requested < 2 or day_count < 2 * MIN_DAYS_PER_WORKER:
         return 1
     capped = min(
         requested,
-        os.cpu_count() or 1,
+        worker_cap(),
         day_count // MIN_DAYS_PER_WORKER,
     )
     return capped if capped >= 2 else 1
+
+
+class WorkerBudget:
+    """One worker budget shared between nested pool levels.
+
+    Sharded collection has two natural pool levels — across shards and
+    across day-chunks within a shard.  Sizing each level independently
+    oversubscribes the machine (outer × inner processes); a budget makes
+    the split explicit: ``split(outer_tasks)`` returns the outer pool
+    size and the per-task inner allowance whose product never exceeds
+    the total.
+    """
+
+    def __init__(self, total: Optional[int] = None):
+        if total is None:
+            total = worker_cap()
+        if total < 1:
+            raise ValueError(f"worker budget must be >= 1, got {total}")
+        self.total = total
+
+    def split(self, outer_tasks: int) -> Tuple[int, int]:
+        """(outer pool size, inner workers per outer task)."""
+        if outer_tasks < 1:
+            return 1, self.total
+        outer = min(self.total, outer_tasks)
+        inner = max(1, self.total // outer)
+        return outer, inner
+
+    def __repr__(self) -> str:
+        return f"WorkerBudget(total={self.total})"
 
 
 def _init_worker(blob: bytes) -> None:

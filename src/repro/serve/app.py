@@ -34,6 +34,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.netsim.internet import World, build_world
 from repro.obs import Observability, resolve_obs
+from repro.scan.sharded import ShardedCollector
 from repro.scan.snapshot import SnapshotCollector
 from repro.serve.repositories import CampaignRepository, SnapshotRepository
 from repro.serve.services import ServeServices, ServiceError
@@ -215,18 +216,37 @@ def build_app(
 
     config = config or StudyConfig()
     obs = resolve_obs(obs)
+    plan = getattr(config, "plan", None)
+    shards = getattr(config, "shards", 1)
+    if world is None and plan is not None:
+        world = plan.build()
     if world is None:
         world = build_world(seed=config.seed, scale=config.scale)
     obs.set_run_info(
-        seed=config.seed, world_fingerprint=world.internet.cache_token()
+        seed=config.seed,
+        world_fingerprint=(
+            f"plan:{plan.fingerprint()}"
+            if plan is not None
+            else world.internet.cache_token()
+        ),
     )
-    collector = SnapshotCollector.openintel_style(world.internet, obs=obs)
-    series = collector.collect(
-        config.dynamicity_start,
-        config.dynamicity_end,
-        workers=config.snapshot_workers,
-        cache=config.snapshot_cache,
-    )
+    workers = config.capped_workers(config.snapshot_workers)
+    if plan is not None:
+        sharded = ShardedCollector(plan, shards=shards, obs=obs)
+        series = sharded.collect(
+            config.dynamicity_start,
+            config.dynamicity_end,
+            workers=workers,
+            cache=config.snapshot_cache,
+        )
+    else:
+        collector = SnapshotCollector.openintel_style(world.internet, obs=obs)
+        series = collector.collect(
+            config.dynamicity_start,
+            config.dynamicity_end,
+            workers=workers,
+            cache=config.snapshot_cache,
+        )
     snapshots = SnapshotRepository(series)
     campaigns = CampaignRepository(
         world,
@@ -234,6 +254,8 @@ def build_app(
         end=config.supplemental_end,
         cache=config.campaign_cache,
         fault_plan=config.fault_plan,
+        plan=plan,
+        shards=shards,
         obs=obs,
     )
     services = ServeServices.build(

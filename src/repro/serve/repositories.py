@@ -20,8 +20,10 @@ import ipaddress
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.netsim.internet import World
+from repro.netsim.worldplan import WorldPlan
 from repro.scan.cache import CampaignCache
 from repro.scan.campaign import SupplementalCampaign, SupplementalDataset
+from repro.scan.sharded import ShardedCampaign
 from repro.scan.snapshot import SnapshotSeries
 from repro.scan.storage import CountMatrix, PrefixTable
 
@@ -146,6 +148,8 @@ class CampaignRepository:
         networks: Optional[Sequence[str]] = None,
         cache: Optional[CampaignCache] = None,
         fault_plan=None,
+        plan: Optional[WorldPlan] = None,
+        shards: int = 1,
         obs=None,
     ):
         self._world = world
@@ -154,6 +158,11 @@ class CampaignRepository:
         self._networks = list(networks) if networks is not None else None
         self._cache = cache
         self._fault_plan = fault_plan
+        #: When set, materialisation runs the sharded campaign over the
+        #: plan (byte-identical to the single-world run, but the serve
+        #: process never holds more than one shard's networks at once).
+        self._plan = plan
+        self._shards = shards
         self._obs = obs
         self._dataset: Optional[SupplementalDataset] = None
         #: "hit" / "miss" / "memo" after :meth:`dataset`; None before.
@@ -167,16 +176,20 @@ class CampaignRepository:
         if self._dataset is not None:
             self.last_outcome = "memo"
             return self._dataset
-        if self._fault_plan is not None:
-            campaign = SupplementalCampaign(
-                self._world,
+        fault_kwargs = (
+            {"fault_plan": self._fault_plan} if self._fault_plan is not None else {}
+        )
+        if self._plan is not None:
+            campaign = ShardedCampaign(
+                self._plan,
+                shards=self._shards,
                 networks=self._networks,
-                fault_plan=self._fault_plan,
                 obs=self._obs,
+                **fault_kwargs,
             )
         else:
             campaign = SupplementalCampaign(
-                self._world, networks=self._networks, obs=self._obs
+                self._world, networks=self._networks, obs=self._obs, **fault_kwargs
             )
         self._dataset = campaign.run(self._start, self._end, cache=self._cache)
         metrics = campaign.last_metrics
