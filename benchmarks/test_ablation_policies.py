@@ -11,69 +11,55 @@ learn under each policy:
                      leak only);
 * static-template -> no identities, no observable dynamics;
 * no-update       -> nothing published at all.
+
+Each policy runs as one cell of the :mod:`repro.eval` evaluation
+matrix — the same collection + campaign + scoring pipeline behind
+``repro evaluate`` — over the single-campus :func:`ablation_plan`
+world, whose only records are policy-driven.
 """
 
 import datetime as dt
 
 import pytest
 
-from repro.core import DynamicityAnalyzer, DynamicityThresholds, GivenNameMatcher
-from repro.ipam import CarryOverPolicy, HashedPolicy, NoUpdatePolicy, StaticTemplatePolicy
-from repro.netsim.network import Network, NetworkType, Subnet, SubnetRole
-from repro.netsim.person import PersonGenerator
-from repro.netsim.population import _take_devices
-from repro.netsim.rng import RngStreams
+from repro.eval import MatrixSpec, ablation_plan, run_matrix
+from repro.ipam import POLICY_NAMES
 from repro.reporting import TextTable
 
-SUFFIX = "campus.ablation.edu"
-WINDOW = (dt.date(2021, 1, 1), dt.date(2021, 3, 31))
-
-POLICIES = {
-    "carry-over": lambda: CarryOverPolicy(SUFFIX),
-    "hashed": lambda: HashedPolicy(SUFFIX, key=b"zone-key"),
-    "static-template": lambda: StaticTemplatePolicy(SUFFIX),
-    "no-update": lambda: NoUpdatePolicy(SUFFIX),
-}
+WINDOW = (dt.date(2021, 1, 1), dt.date(2021, 4, 1))
 
 
-def build_network(policy_name):
-    rngs = RngStreams(99)
-    generator = PersonGenerator(rngs.stream("population", "ablation"))
-    people = generator.make_population(60, id_prefix="abl")
-    network = Network("ablation", NetworkType.ACADEMIC, "10.0.0.0/16", SUFFIX, rngs=rngs)
-    subnet = Subnet(
-        "10.0.10.0/24",
-        SubnetRole.DYNAMIC_CLIENTS,
-        devices=_take_devices(people),
-        policy=POLICIES[policy_name](),
-    )
-    network.add_subnet(subnet)
-    return network
+def ablation_spec(policy_name):
+    """A one-cell matrix: the ablation campus under one policy.
+
+    ``leak_sample_days`` spans the whole collection window, so the
+    name count is cumulative over every observed day (the paper's
+    observer reads the zone daily, not once).
+    """
+    return MatrixSpec(
+        worlds={"ablation": ablation_plan(99)},
+        policies=(policy_name,),
+        faults=("none",),
+        dynamicity_start=WINDOW[0],
+        dynamicity_end=WINDOW[1],
+        supplemental_start=dt.date(2021, 11, 1),
+        supplemental_end=dt.date(2021, 11, 4),
+        leak_sample_days=(WINDOW[1] - WINDOW[0]).days,
+    ).validate()
 
 
 def observe(policy_name):
     """What the outside observer sees under one policy."""
-    network = build_network(policy_name)
-    matcher = GivenNameMatcher()
-    day = WINDOW[0]
-    counts = {}
-    names = set()
-    while day <= WINDOW[1]:
-        day_counts = network.counts_by_slash24(day, at_offset=43200)
-        counts[day] = day_counts
-        if day.weekday() == 2:  # sample Wednesdays (office hours)
-            for _, hostname in network.records_on(day, at_offset=43200):
-                names.update(matcher.match(hostname))
-        day += dt.timedelta(days=1)
-    report = DynamicityAnalyzer(DynamicityThresholds()).analyze(counts)
+    result = run_matrix(ablation_spec(policy_name))
+    score = result.results[0].score
     return {
-        "dynamic_24s": report.dynamic_count,
-        "unique_names": len(names),
-        "peak_records": max(sum(c.values()) for c in counts.values()),
+        "dynamic_24s": score.dynamic_24s,
+        "unique_names": score.unique_names,
+        "peak_records": score.peak_records,
     }
 
 
-@pytest.mark.parametrize("policy_name", list(POLICIES))
+@pytest.mark.parametrize("policy_name", list(POLICY_NAMES))
 def test_ablation_policy(benchmark, policy_name, write_artifact):
     result = benchmark.pedantic(observe, args=(policy_name,), rounds=1, iterations=1)
 

@@ -9,6 +9,10 @@
 * ``track``    — follow a given name's devices (Section 7.1);
 * ``heist``    — recommend the quietest hour (Section 7.3);
 * ``audit``    — grade each network's rDNS exposure (Section 8);
+* ``evaluate`` — the countermeasure evaluation matrix (Section 8):
+  sweep IPAM policies × world plans × fault profiles, rank privacy
+  exposure against operational utility, and optionally write the
+  machine-readable ``eval_matrix.json``;
 * ``snapshot`` — dump one day's PTR records, OpenINTEL-style;
 * ``serve``    — the long-running leak-analysis query service
   (:mod:`repro.serve`): per-prefix dynamicity, leak verdicts, name
@@ -29,11 +33,20 @@ from __future__ import annotations
 
 import argparse
 import datetime as dt
+import pathlib
 import sys
 from typing import List, Optional
 
 from repro.core import DeviceTracker, HeistPlanner, audit_by_network
 from repro.core.pipeline import ReproductionStudy, StudyConfig
+from repro.eval import (
+    MatrixSpec,
+    default_worlds,
+    render_ranked_report,
+    run_matrix,
+    write_matrix_json,
+)
+from repro.ipam.policy import POLICY_NAMES
 from repro.netsim.faults import FAULT_PROFILES, resolve_fault_plan
 from repro.netsim.internet import WorldScale, build_world
 from repro.netsim.spec import build_world_from_file
@@ -282,6 +295,72 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="trailing collected days feeding /leaks and /names (default 7)",
+    )
+
+    evaluate = commands.add_parser(
+        "evaluate",
+        help=(
+            "countermeasure evaluation matrix: sweep IPAM policies × worlds × "
+            "fault profiles, rank privacy exposure vs operational utility "
+            "(Section 8)"
+        ),
+    )
+    evaluate.add_argument(
+        "--policies",
+        nargs="+",
+        choices=POLICY_NAMES,
+        default=list(POLICY_NAMES),
+        metavar="POLICY",
+        help=f"policy axis (default: all of {', '.join(POLICY_NAMES)})",
+    )
+    evaluate.add_argument(
+        "--worlds",
+        nargs="+",
+        default=None,
+        metavar="LABEL",
+        help=(
+            "world axis labels (default: the stock 'campus' and 'multi16' "
+            "worlds; with --plan, the single world 'plan')"
+        ),
+    )
+    evaluate.add_argument(
+        "--fault-profiles",
+        nargs="+",
+        choices=FAULT_PROFILES,
+        default=["none"],
+        metavar="PROFILE",
+        help="fault-profile axis (default: none only)",
+    )
+    evaluate.add_argument(
+        "--slash16s",
+        type=_positive_int,
+        default=4,
+        help="width of the stock multi16 world (default 4 /16s)",
+    )
+    evaluate.add_argument(
+        "--people",
+        type=_positive_int,
+        default=12,
+        help="population per multi16 network (default 12)",
+    )
+    evaluate.add_argument(
+        "--leak-sample-days",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="trailing collected days feeding the given-name matcher (default 7)",
+    )
+    evaluate.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the machine-readable eval_matrix.json here",
+    )
+    evaluate.add_argument(
+        "--report-out",
+        metavar="PATH",
+        default=None,
+        help="also write the ranked report (exactly as printed) to this file",
     )
 
     plan = commands.add_parser(
@@ -664,8 +743,73 @@ def cmd_serve(args, out) -> int:
     return 0
 
 
+def cmd_evaluate(args, out) -> int:
+    config = _study_config(args)
+    plan = _plan(args)
+    if plan is not None:
+        worlds = {"plan": plan}
+    else:
+        worlds = default_worlds(args.seed, slash16s=args.slash16s, people=args.people)
+    if args.worlds is not None:
+        unknown = [label for label in args.worlds if label not in worlds]
+        if unknown:
+            raise ValueError(
+                f"unknown world label(s): {', '.join(unknown)} "
+                f"(available: {', '.join(worlds)})"
+            )
+        worlds = {label: worlds[label] for label in args.worlds}
+    spec = MatrixSpec(
+        worlds=worlds,
+        policies=tuple(args.policies),
+        faults=tuple(args.fault_profiles),
+        dynamicity_start=config.dynamicity_start,
+        dynamicity_end=config.dynamicity_end,
+        supplemental_start=config.supplemental_start,
+        supplemental_end=config.supplemental_end,
+        leak_sample_days=config.leak_sample_days,
+        dynamicity_thresholds=config.dynamicity_thresholds,
+    ).validate()
+
+    result = run_matrix(
+        spec,
+        workers=config.capped_workers(args.workers),
+        snapshot_cache=config.snapshot_cache,
+        campaign_cache=config.campaign_cache,
+        obs=_obs(args),
+    )
+
+    cells = spec.cells()
+    print(
+        f"evaluated {len(cells)} cell(s): {len(worlds)} world(s) × "
+        f"{len(spec.policies)} policy(ies) × {len(spec.faults)} fault "
+        f"profile(s), {result.workers} worker(s)",
+        file=out,
+    )
+    report = render_ranked_report(result)
+    print(report, file=out)
+    if args.timings:
+        snapshot_hits = sum(1 for r in result.results if r.snapshot_cache_hit)
+        campaign_hits = sum(1 for r in result.results if r.campaign_cache_hit)
+        print(
+            f"[timings] matrix: {result.total_seconds:.2f}s; cache hits "
+            f"{snapshot_hits}/{len(result.results)} snapshot, "
+            f"{campaign_hits}/{len(result.results)} campaign",
+            file=out,
+        )
+    if args.report_out:
+        target = pathlib.Path(args.report_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(report + "\n", encoding="utf-8")
+        print(f"wrote ranked report to {target}", file=out)
+    if args.out:
+        target = write_matrix_json(args.out, result)
+        print(f"wrote eval matrix payload to {target}", file=out)
+    return 0
+
+
 _COMMANDS = {
     "plan": cmd_plan,
+    "evaluate": cmd_evaluate,
     "study": cmd_study,
     "serve": cmd_serve,
     "audit": cmd_audit,

@@ -1,0 +1,150 @@
+"""Ranked reporting for the evaluation matrix.
+
+Two consumers, one source of truth: the human-readable ranked
+:class:`~repro.reporting.tables.TextTable` (most-exposed cell first —
+the report answers "which practice leaks most, and what does fixing it
+cost?") and the machine-readable ``eval_matrix.json`` payload.  Both
+render from the same ordered :class:`~repro.eval.runner.CellResult`
+list, so they can never disagree.
+
+Ranking is deterministic: exposure descending, then utility
+descending, then cell id — no wall-clock, no float formatting
+surprises — which is what lets CI diff the rendered report against a
+committed golden.  Degenerate statistics render as ``n/a`` and the
+cell's flags appear in the last column; a flagged row is information,
+not an error.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List
+
+from repro.core.stats import Interval
+from repro.eval.matrix import MatrixSpec
+from repro.eval.runner import CellResult, MatrixResult
+from repro.reporting.tables import TextTable
+
+#: Schema version of the ``eval_matrix.json`` payload.
+MATRIX_PAYLOAD_VERSION = 1
+
+REPORT_COLUMNS = (
+    "Rank",
+    "World",
+    "Policy",
+    "Faults",
+    "Verdict",
+    "Names",
+    "Dyn24s",
+    "Track",
+    "LingerMed(m)",
+    "Success",
+    "Fresh",
+    "Exposure",
+    "Utility",
+    "Flags",
+)
+
+
+def ranked(results: List[CellResult]) -> List[CellResult]:
+    """Cells ordered worst-exposure-first (deterministic tiebreaks)."""
+    return sorted(
+        results,
+        key=lambda result: (
+            -result.score.exposure,
+            -result.score.utility,
+            result.score.cell_id,
+        ),
+    )
+
+
+def _estimate(interval: Interval, *, percent: bool = False, digits: int = 1) -> str:
+    if interval.degenerate or interval.estimate != interval.estimate:
+        return "n/a"
+    value = interval.estimate * 100.0 if percent else interval.estimate
+    return f"{value:.{digits}f}%" if percent else f"{value:.{digits}f}"
+
+
+def render_ranked_report(result: MatrixResult) -> str:
+    """The ranked TextTable over every cell of the sweep."""
+    table = TextTable(
+        list(REPORT_COLUMNS),
+        aligns=["<"] * 5 + [">"] * 8 + ["<"],
+    )
+    for rank, cell_result in enumerate(ranked(result.results), start=1):
+        score = cell_result.score
+        table.add_row(
+            [
+                rank,
+                score.world,
+                score.policy,
+                score.faults,
+                score.verdict,
+                score.unique_names,
+                score.dynamic_24s,
+                score.trackable_devices,
+                _estimate(score.lingering_median),
+                _estimate(score.resolution_success, percent=True),
+                _estimate(score.ptr_freshness, percent=True),
+                f"{score.exposure:.3f}",
+                f"{score.utility:.3f}",
+                ",".join(score.flags) if score.flags else "-",
+            ]
+        )
+    return table.render()
+
+
+def matrix_payload(result: MatrixResult) -> Dict[str, object]:
+    """The deterministic ``eval_matrix.json`` document.
+
+    ``cells`` follow sweep order (world-major); ``ranking`` lists cell
+    ids in report order.  Per-cell cache keys are included so a later
+    run can audit exactly which entries a sweep read or wrote.
+    """
+    spec: MatrixSpec = result.spec
+    return {
+        "version": MATRIX_PAYLOAD_VERSION,
+        "axes": spec.axes_payload(),
+        "windows": {
+            "dynamicity": [
+                spec.dynamicity_start.isoformat(),
+                spec.dynamicity_end.isoformat(),
+            ],
+            "supplemental": [
+                spec.supplemental_start.isoformat(),
+                spec.supplemental_end.isoformat(),
+            ],
+        },
+        "scoring": {
+            "leak_sample_days": spec.leak_sample_days,
+            "track_min_days": spec.track_min_days,
+            "identity_norm": spec.identity_norm,
+            "dynamics_norm": spec.dynamics_norm,
+        },
+        "cells": [
+            {
+                **cell_result.score.to_payload(),
+                "cache": {
+                    "snapshot_key": cell_result.snapshot_cache_key,
+                    "campaign_key": cell_result.campaign_cache_key,
+                },
+            }
+            for cell_result in result.results
+        ],
+        "ranking": [
+            cell_result.score.cell_id for cell_result in ranked(result.results)
+        ],
+    }
+
+
+def write_matrix_json(path, result: MatrixResult) -> pathlib.Path:
+    """Persist :func:`matrix_payload` (stable key order, trailing newline)."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = matrix_payload(result)
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    return target

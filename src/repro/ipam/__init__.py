@@ -10,11 +10,13 @@ explicit, swappable object — because the paper's mitigation discussion
 
 from repro.ipam.hostname import sanitize_host_name
 from repro.ipam.policy import (
+    POLICY_NAMES,
     CarryOverPolicy,
     DnsUpdatePolicy,
     HashedPolicy,
     NoUpdatePolicy,
     StaticTemplatePolicy,
+    make_policy,
 )
 from repro.ipam.system import IpamSystem
 
@@ -24,6 +26,8 @@ __all__ = [
     "HashedPolicy",
     "IpamSystem",
     "NoUpdatePolicy",
+    "POLICY_NAMES",
     "StaticTemplatePolicy",
+    "make_policy",
     "sanitize_host_name",
 ]

@@ -48,6 +48,25 @@ class DnsUpdatePolicy(abc.ABC):
     def hostname_for(self, lease: Lease) -> Optional[str]:
         """The FQDN to publish for ``lease``, or None."""
 
+    def _token_params(self) -> tuple:
+        """Identity parameters beyond the suffix (for :meth:`cache_token`)."""
+        return ()
+
+    def cache_token(self) -> str:
+        """A deterministic fingerprint of the policy's published output.
+
+        Two policies share a token only when they publish identical
+        zone content for identical leases; every constructor parameter
+        that shapes the output is folded in.  The world-level
+        :meth:`~repro.netsim.internet.Internet.cache_token` embeds this
+        per subnet, so on-disk snapshot/campaign caches can never serve
+        one policy's records for another (the class name alone could:
+        two ``HashedPolicy`` instances with different keys publish
+        different zones).
+        """
+        parts = [self.suffix, *self._token_params()]
+        return f"{type(self).__name__}({','.join(parts)})"
+
     def static_hostname_for(self, address) -> Optional[str]:
         """The record to restore once the lease goes away, or None.
 
@@ -73,6 +92,9 @@ class CarryOverPolicy(DnsUpdatePolicy):
         # for the same host names every half lease-time; the population
         # of distinct names is bounded by the device population.
         self._sanitized: dict = {}
+
+    def _token_params(self) -> tuple:
+        return (f"fallback={self.fallback_prefix}",)
 
     def hostname_for(self, lease: Lease) -> Optional[str]:
         name = lease.host_name
@@ -107,6 +129,9 @@ class StaticTemplatePolicy(DnsUpdatePolicy):
         if "{dashed}" not in template and "{last_octet}" not in template:
             raise ValueError("template must reference {dashed} or {last_octet}")
         self.template = template
+
+    def _token_params(self) -> tuple:
+        return (f"template={self.template}",)
 
     def _label(self, address) -> str:
         if isinstance(address, ipaddress.IPv4Address):
@@ -144,6 +169,12 @@ class HashedPolicy(DnsUpdatePolicy):
         self.digest_length = digest_length
         self._digests: dict = {}
 
+    def _token_params(self) -> tuple:
+        # The raw key is a secret; a digest prefix identifies it just
+        # as well without writing it into cache-key material on disk.
+        key_digest = hashlib.sha256(self.key).hexdigest()[:16]
+        return (f"key={key_digest}", f"len={self.digest_length}")
+
     def hostname_for(self, lease: Lease) -> Optional[str]:
         hostname = self._digests.get(lease.client_id)
         if hostname is None:
@@ -161,3 +192,28 @@ class NoUpdatePolicy(DnsUpdatePolicy):
 
     def hostname_for(self, lease: Lease) -> Optional[str]:
         return None
+
+
+#: Plan-level policy names, in the order the paper discusses them.
+#: These are the values a :class:`~repro.netsim.worldplan.WorldPlan`
+#: entry's ``update_policy`` key may carry, and the policy axis of the
+#: countermeasure evaluation matrix (:mod:`repro.eval`).
+POLICY_NAMES = ("carry-over", "hashed", "static-template", "no-update")
+
+#: Fixed key for plan-declared hashed policies.  A plan is a pure JSON
+#: value, so the key must be derivable from it; a constant keeps two
+#: processes holding the same plan publishing the same digests.
+_PLAN_HASH_KEY = b"plan-zone-key"
+
+
+def make_policy(name: str, suffix: str) -> DnsUpdatePolicy:
+    """Build the named policy for ``suffix`` (plan/CLI entry point)."""
+    if name == "carry-over":
+        return CarryOverPolicy(suffix)
+    if name == "hashed":
+        return HashedPolicy(suffix, key=_PLAN_HASH_KEY)
+    if name == "static-template":
+        return StaticTemplatePolicy(suffix)
+    if name == "no-update":
+        return NoUpdatePolicy(suffix)
+    raise ValueError(f"unknown policy {name!r} (want one of {POLICY_NAMES})")

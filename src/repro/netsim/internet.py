@@ -140,9 +140,18 @@ class Internet:
                     )
                 mode = subnet.rdns_mode
                 mode_marker = "" if mode.value == "enabled" else f"|rdns={mode.value}"
+                # The full policy token, not just the class name: two
+                # HashedPolicy instances with different keys (or two
+                # templates) publish different zones, and the class
+                # name alone let them share a cache entry.
+                policy_token = (
+                    subnet.policy.cache_token()
+                    if subnet.policy is not None
+                    else "NoneType"
+                )
                 parts.append(
                     f"  {subnet.prefix}|{subnet.role.value}"
-                    f"|policy={type(subnet.policy).__name__}|{backing}{mode_marker}"
+                    f"|policy={policy_token}|{backing}{mode_marker}"
                 )
         digest = hashlib.sha256("\n".join(parts).encode("utf-8"))
         return digest.hexdigest()

@@ -282,6 +282,7 @@ class NetworkBuilder:
         lease_time: int = 3600,
         icmp_response_rate: float = 0.35,
         carry_over_names: bool = True,
+        policy: Optional[DnsUpdatePolicy] = None,
         covid: Optional[CovidTimeline] = None,
         rdns_mode: "str | RdnsMode" = RdnsMode.ENABLED,
         zone_layout: str = "flat",
@@ -290,16 +291,19 @@ class NetworkBuilder:
 
         ``carry_over_names=False`` models the common ISP practice of
         fixed-form pool names (``client-1-2-3-4.dsl.example.net``) —
-        dynamic DHCP, but no identity leak.
+        dynamic DHCP, but no identity leak.  An explicit ``policy``
+        overrides the flag entirely (the countermeasure-evaluation
+        matrix swaps policies uniformly across network kinds).
         ``icmp_response_rate`` models CPE behaviour: the paper's ISP-B
         and ISP-C see under 2% responsiveness.
         """
         generator = self._generator(name, release_rate=0.6)
         rdns_mode = RdnsMode.parse(rdns_mode)
-        if carry_over_names:
-            policy: DnsUpdatePolicy = CarryOverPolicy(suffix)
-        else:
-            policy = StaticTemplatePolicy(suffix, template="client-{dashed}")
+        if policy is None:
+            if carry_over_names:
+                policy = CarryOverPolicy(suffix)
+            else:
+                policy = StaticTemplatePolicy(suffix, template="client-{dashed}")
         network = Network(
             name,
             NetworkType.ISP,

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.dns.zone import RdnsMode
+from repro.ipam.policy import POLICY_NAMES, make_policy
 from repro.netsim.internet import Internet, World, WorldScale
 from repro.netsim.population import NetworkBuilder
 from repro.netsim.rng import RngStreams
@@ -146,6 +147,19 @@ class WorldPlan:
                     f"network {name!r}: unknown zone_layout {layout!r}"
                     f" (want one of {_ZONE_LAYOUTS})"
                 )
+            if "update_policy" in entry:
+                policy_name = entry["update_policy"]
+                if policy_name not in POLICY_NAMES:
+                    raise PlanError(
+                        f"network {name!r}: unknown update_policy {policy_name!r}"
+                        f" (want one of {POLICY_NAMES})"
+                    )
+                if entry["kind"] == "background":
+                    raise PlanError(
+                        f"network {name!r}: background networks have no "
+                        "DHCP-coupled DNS updates, so update_policy does "
+                        "not apply"
+                    )
             if "rdns_mode" in entry:
                 try:
                     mode = RdnsMode.parse(entry["rdns_mode"])
@@ -192,6 +206,47 @@ class WorldPlan:
         """
         canonical = json.dumps(self.to_payload(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def policy_token(self) -> Optional[str]:
+        """The plan's declared ``update_policy`` mix, or ``None``.
+
+        Folded into snapshot *and* campaign cache keys alongside the
+        plan fingerprint, so two evaluation-matrix cells that differ
+        only in DNS-update policy can never share a cache entry even
+        if a future fingerprint change stopped covering the entries.
+        ``None`` (no entry declares a policy) keeps pre-existing cache
+        keys valid.
+        """
+        declared = sorted(
+            {
+                f"{entry['name']}={entry['update_policy']}"
+                for entry in self.entries
+                if "update_policy" in entry
+            }
+        )
+        return ",".join(declared) if declared else None
+
+    def with_update_policy(self, policy_name: str) -> "WorldPlan":
+        """A copy of the plan with every eligible entry on ``policy_name``.
+
+        "Eligible" means every kind whose factory wires a DNS-update
+        policy into its dynamic-client subnets (academic, enterprise,
+        government, isp); background networks model third-party space
+        whose naming is not DHCP-coupled and keep their entries
+        untouched.  The copy fingerprints differently from the base
+        plan, which is what keys each evaluation-matrix cell's caches.
+        """
+        if policy_name not in POLICY_NAMES:
+            raise PlanError(
+                f"unknown update_policy {policy_name!r} (want one of {POLICY_NAMES})"
+            )
+        entries = []
+        for entry in self.entries:
+            entry = dict(entry)
+            if entry.get("kind") != "background":
+                entry["update_policy"] = policy_name
+            entries.append(entry)
+        return WorldPlan(self.seed, entries)
 
     def save(self, path: PathLike) -> None:
         Path(path).write_text(json.dumps(self.to_payload(), indent=2) + "\n")
@@ -250,6 +305,13 @@ class WorldPlan:
             name = entry.pop("name")
             prefix = entry.pop("prefix")
             suffix = entry.pop("suffix")
+            # A plan carries the policy by *name* (entries must stay
+            # pure JSON); the instance is built here, per network, so
+            # subset builds hand every factory the same fresh policy a
+            # full build would.
+            update_policy = entry.pop("update_policy", None)
+            if update_policy is not None:
+                entry["policy"] = make_policy(update_policy, suffix)
             factory = getattr(builder, kind)
             try:
                 network = factory(name, prefix, suffix, **entry)

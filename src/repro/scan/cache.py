@@ -244,20 +244,28 @@ class SnapshotCache(_JsonFileCache):
         end: dt.date,
         cadence_days: int,
         at_offset: Optional[int],
+        policy_token: Optional[str] = None,
+        fault_token: Optional[str] = None,
     ) -> str:
-        material = json.dumps(
-            {
-                "version": FORMAT_VERSION,
-                "world": world_token,
-                "name": name,
-                "networks": list(networks) if networks is not None else None,
-                "start": start.isoformat(),
-                "end": end.isoformat(),
-                "cadence_days": cadence_days,
-                "at_offset": at_offset,
-            },
-            sort_keys=True,
-        )
+        fields = {
+            "version": FORMAT_VERSION,
+            "world": world_token,
+            "name": name,
+            "networks": list(networks) if networks is not None else None,
+            "start": start.isoformat(),
+            "end": end.isoformat(),
+            "cadence_days": cadence_days,
+            "at_offset": at_offset,
+        }
+        # Evaluation-matrix cells fold their policy and fault-plan
+        # identity in explicitly, so no two cells can ever share an
+        # entry; both default to None so every pre-existing key is
+        # unchanged.
+        if policy_token is not None:
+            fields["policy"] = policy_token
+        if fault_token is not None:
+            fields["faults"] = fault_token
+        material = json.dumps(fields, sort_keys=True)
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
@@ -282,6 +290,7 @@ class CampaignCache(_JsonFileCache):
         rdns_rate: float,
         blocklist: Sequence[str],
         fault_token: Optional[str] = None,
+        policy_token: Optional[str] = None,
     ) -> str:
         fields = {
             "version": FORMAT_VERSION,
@@ -296,8 +305,12 @@ class CampaignCache(_JsonFileCache):
             "blocklist": sorted(blocklist),
         }
         # Only fault-injected runs carry the token: keeping it out of
-        # clean-run material preserves every pre-fault cache key.
+        # clean-run material preserves every pre-fault cache key.  The
+        # policy token (plans that declare update_policy entries) works
+        # the same way.
         if fault_token is not None:
             fields["faults"] = fault_token
+        if policy_token is not None:
+            fields["policy"] = policy_token
         material = json.dumps(fields, sort_keys=True)
         return hashlib.sha256(material.encode("utf-8")).hexdigest()

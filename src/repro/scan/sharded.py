@@ -129,6 +129,7 @@ class ShardedCollector:
         shards: int = 1,
         cadence_days: int = 1,
         at_offset: Optional[int] = DEFAULT_SNAPSHOT_OFFSET,
+        fault_token: Optional[str] = None,
         obs=None,
     ):
         if shards < 1:
@@ -140,6 +141,11 @@ class ShardedCollector:
         self.shards = shards
         self.cadence_days = cadence_days
         self.at_offset = at_offset
+        #: Key salt only — snapshot *content* never depends on faults
+        #: (they model resolver-path failures, not zone state), but the
+        #: evaluation matrix passes its cell's fault token so no two
+        #: cells can share a cache entry.
+        self.fault_token = fault_token
         self.obs = obs
         #: Counters from the most recent :meth:`collect` call.
         self.last_metrics: Optional[CollectionMetrics] = None
@@ -167,6 +173,8 @@ class ShardedCollector:
             end=end,
             cadence_days=self.cadence_days,
             at_offset=self.at_offset,
+            policy_token=self.plan.policy_token(),
+            fault_token=self.fault_token,
         )
 
     def collect(
@@ -410,6 +418,7 @@ class ShardedCampaign:
             fault_token=(
                 self.fault_plan.cache_token() if self.fault_plan is not None else None
             ),
+            policy_token=self.plan.policy_token(),
         )
 
     def _shard_batches(self) -> List[List[str]]:

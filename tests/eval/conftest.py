@@ -1,0 +1,25 @@
+"""Shared fixtures for the evaluation-matrix tests.
+
+A full matrix run (collection + campaign per cell) is expensive next
+to a unit test, so the 2-policy campus sweep used by several test
+files runs once per session; tests that need different axes build
+their own spec.
+"""
+
+import pytest
+
+from repro.eval import MatrixSpec, campus_plan, run_matrix
+
+
+@pytest.fixture(scope="session")
+def campus_spec():
+    return MatrixSpec(
+        worlds={"campus": campus_plan(7)},
+        policies=("carry-over", "no-update"),
+        faults=("none", "mild"),
+    ).validate()
+
+
+@pytest.fixture(scope="session")
+def campus_result(campus_spec):
+    return run_matrix(campus_spec)

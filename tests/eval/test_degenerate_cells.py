@@ -1,0 +1,92 @@
+"""Degenerate matrix cells surface as flagged rows, never tracebacks.
+
+A ``no-update`` campus cell publishes nothing: zero leaked names, no
+activity groups, an empty lingering analysis and a 0-sample freshness
+proportion.  Each of those flows through the degenerate-``Interval``
+handling and ends up as a flag on the score; the report renders
+``n/a`` and the JSON payload stays strict (no ``NaN`` tokens).
+"""
+
+import json
+import math
+
+from repro.eval import (
+    matrix_payload,
+    ranked,
+    render_ranked_report,
+    score_from_payload,
+    write_matrix_json,
+)
+
+
+def no_update_result(campus_result):
+    return next(
+        r for r in campus_result.results if r.cell.policy == "no-update"
+    )
+
+
+class TestFlags:
+    def test_no_update_cell_is_flagged_not_fatal(self, campus_result):
+        score = no_update_result(campus_result).score
+        assert score.verdict == "none"
+        assert score.peak_records == 0
+        assert "zero-leaks" in score.flags
+        assert "lingering-degenerate" in score.flags
+        assert "freshness-degenerate" in score.flags
+        assert score.lingering_median.degenerate
+        assert score.ptr_freshness.degenerate
+
+    def test_carry_over_cell_is_clean(self, campus_result):
+        clean = next(
+            r.score
+            for r in campus_result.results
+            if r.cell.policy == "carry-over" and r.cell.faults == "none"
+        )
+        assert clean.flags == ()
+        assert clean.verdict == "identities+dynamics"
+
+
+class TestRendering:
+    def test_report_renders_na_for_degenerate_stats(self, campus_result):
+        report = render_ranked_report(campus_result)
+        flagged_line = next(
+            line for line in report.splitlines() if "no-update" in line
+        )
+        assert "n/a" in flagged_line
+        assert "zero-leaks" in flagged_line
+        assert "nan" not in report.lower()
+
+    def test_flagged_cells_rank_below_exposed_ones(self, campus_result):
+        order = [r.cell.policy for r in ranked(campus_result.results)]
+        assert order.index("carry-over") < order.index("no-update")
+
+
+class TestStrictJson:
+    def test_payload_has_no_nan_tokens(self, campus_result, tmp_path):
+        # allow_nan=False inside write_matrix_json raises on any NaN
+        # that slipped through; loading proves the file is valid JSON.
+        path = write_matrix_json(tmp_path / "eval_matrix.json", campus_result)
+        payload = json.loads(path.read_text())
+        degenerate = next(
+            cell
+            for cell in payload["cells"]
+            if cell["policy"] == "no-update" and cell["faults"] == "none"
+        )
+        assert degenerate["privacy"]["lingering_median_minutes"]["estimate"] is None
+        assert degenerate["utility"]["ptr_freshness"]["estimate"] is None
+
+    def test_score_round_trips_through_payload(self, campus_result):
+        for result in campus_result.results:
+            rebuilt = score_from_payload(result.score.to_payload())
+            assert rebuilt.to_payload() == result.score.to_payload()
+            if result.score.lingering_median.degenerate:
+                assert math.isnan(rebuilt.lingering_median.estimate) or (
+                    rebuilt.lingering_median.estimate
+                    == result.score.lingering_median.estimate
+                )
+
+    def test_ranking_lists_every_cell(self, campus_result):
+        payload = matrix_payload(campus_result)
+        assert sorted(payload["ranking"]) == sorted(
+            cell["cell_id"] for cell in payload["cells"]
+        )
