@@ -14,6 +14,9 @@
   exposure against operational utility, and optionally write the
   machine-readable ``eval_matrix.json``;
 * ``snapshot`` — dump one day's PTR records, OpenINTEL-style;
+* ``cache``    — inspect/verify/migrate the on-disk caches: report
+  entry format versions, checksum v4 blockfile sidecars, and rewrite
+  pre-v4 snapshot entries as blockfile pairs in place;
 * ``serve``    — the long-running leak-analysis query service
   (:mod:`repro.serve`): per-prefix dynamicity, leak verdicts, name
   counts and occupancy over HTTP, with ``POST /ingest/day`` folding
@@ -296,6 +299,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="trailing collected days feeding /leaks and /names (default 7)",
     )
+    serve.add_argument(
+        "--blockfile",
+        metavar="PATH",
+        default=None,
+        help=(
+            "back the snapshot store with an mmap-ed blockfile at PATH: "
+            "written once at boot, served zero-copy, and POST /ingest/day "
+            "appends a segment instead of rewriting (default: in-memory)"
+        ),
+    )
 
     evaluate = commands.add_parser(
         "evaluate",
@@ -361,6 +374,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the ranked report (exactly as printed) to this file",
+    )
+
+    cache = commands.add_parser(
+        "cache", help="inspect, verify or migrate on-disk cache entries"
+    )
+    cache.add_argument(
+        "action",
+        choices=("inspect", "verify", "migrate"),
+        help=(
+            "inspect: list entries with their payload format versions; "
+            "verify: checksum every v4 blockfile sidecar (full body CRC + "
+            "SHA-256) and exit non-zero on damage; migrate: rewrite pre-v4 "
+            "snapshot entries as v4 blockfile pairs in place"
+        ),
     )
 
     plan = commands.add_parser(
@@ -466,6 +493,8 @@ def _study_config(args) -> StudyConfig:
     config.fault_plan = _fault_plan(args)
     if getattr(args, "leak_sample_days", None) is not None:
         config.leak_sample_days = args.leak_sample_days
+    if getattr(args, "blockfile", None) is not None:
+        config.serve_blockfile = args.blockfile
     return config
 
 
@@ -693,6 +722,154 @@ def cmd_audit(args, out) -> int:
     return 0
 
 
+def _read_cache_entry(cache, key: str):
+    """One entry's raw JSON document, or ``None`` if unreadable.
+
+    Reads the file directly rather than via ``cache.load`` so a broken
+    entry is *reported*, never silently repaired out from under the
+    user mid-inspection.
+    """
+    import json
+
+    try:
+        with cache.path_for(key).open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def cmd_cache(args, out) -> int:
+    import hashlib
+
+    from repro.scan.blockfile import BlockFileError, BlockFileReader
+    from repro.scan.snapshot import SnapshotSeries
+    from repro.scan.storage import DATASET_FORMAT_VERSION
+
+    cache = _snapshot_cache(args) or SnapshotCache()
+    keys = cache.entries()
+
+    if args.action == "inspect":
+        print(f"snapshot cache {cache.root}: {len(keys)} entry(ies)", file=out)
+        if keys:
+            table = TextTable(
+                ["Key", "Version", "Days", "Blockfile", "Bytes"],
+                aligns=["<", ">", ">", "<", ">"],
+            )
+            for key in keys:
+                payload = _read_cache_entry(cache, key)
+                if payload is None:
+                    table.add_row([key[:12] + "…", "corrupt", "-", "-", "-"])
+                    continue
+                version = payload.get("version", 2)
+                table.add_row(
+                    [
+                        key[:12] + "…",
+                        version,
+                        len(payload.get("days", ())),
+                        payload.get("blockfile", "-") if version >= 4 else "-",
+                        payload.get("blockfile_bytes", "-") if version >= 4 else "-",
+                    ]
+                )
+            print(table.render(), file=out)
+        campaign = _campaign_cache(args) or CampaignCache()
+        campaign_keys = campaign.entries()
+        print(
+            f"campaign cache {campaign.root}: {len(campaign_keys)} entry(ies)",
+            file=out,
+        )
+        if campaign_keys:
+            table = TextTable(["Key", "Version", "Networks"], aligns=["<", ">", ">"])
+            for key in campaign_keys:
+                payload = _read_cache_entry(campaign, key)
+                if payload is None:
+                    table.add_row([key[:12] + "…", "corrupt", "-"])
+                    continue
+                table.add_row(
+                    [
+                        key[:12] + "…",
+                        payload.get("version", 2),
+                        len(payload.get("targets_by_network", ())),
+                    ]
+                )
+            print(table.render(), file=out)
+        return 0
+
+    if args.action == "verify":
+        failures = 0
+        for key in keys:
+            payload = _read_cache_entry(cache, key)
+            if payload is None:
+                print(f"  {key[:12]}… ERROR: unreadable JSON document", file=out)
+                failures += 1
+                continue
+            version = payload.get("version", 2)
+            if version < 4:
+                print(f"  {key[:12]}… v{version} OK (inline payload, no sidecar)", file=out)
+                continue
+            path = cache.root / payload.get("blockfile", f"{key}.rbf")
+            try:
+                blob = path.read_bytes()
+            except OSError as error:
+                print(f"  {key[:12]}… ERROR: missing sidecar ({error})", file=out)
+                failures += 1
+                continue
+            digest = hashlib.sha256(blob).hexdigest()
+            expected = payload.get("blockfile_sha256")
+            if expected is not None and digest != expected:
+                print(f"  {key[:12]}… ERROR: sidecar SHA-256 mismatch", file=out)
+                failures += 1
+                continue
+            try:
+                with BlockFileReader.open(path) as reader:
+                    reader.verify()
+                    day_count = len(reader.days)
+            except BlockFileError as error:
+                print(f"  {key[:12]}… ERROR: {error}", file=out)
+                failures += 1
+                continue
+            print(
+                f"  {key[:12]}… v{version} OK "
+                f"({day_count} day(s), {len(blob):,} bytes, CRCs + SHA-256 good)",
+                file=out,
+            )
+        print(
+            f"verified {len(keys)} entry(ies) in {cache.root}: "
+            f"{failures} failure(s)",
+            file=out,
+        )
+        return 1 if failures else 0
+
+    # migrate: rewrite pre-v4 entries as blockfile pairs, in place.
+    migrated = current = failed = 0
+    for key in keys:
+        payload = cache.load(key)
+        if payload is None:
+            print(f"  {key[:12]}… corrupt entry repaired (removed)", file=out)
+            failed += 1
+            continue
+        version = payload.get("version", 2)
+        if version >= DATASET_FORMAT_VERSION:
+            current += 1
+            continue
+        try:
+            # Decoding never touches the world, so no internet handle
+            # is needed for an offline rewrite.
+            series = SnapshotSeries.from_payload(payload, None)
+            cache.store_series(key, series)
+        except (OSError, KeyError, TypeError, ValueError) as error:
+            print(f"  {key[:12]}… ERROR: {type(error).__name__}: {error}", file=out)
+            failed += 1
+            continue
+        migrated += 1
+        print(f"  {key[:12]}… v{version} -> v{DATASET_FORMAT_VERSION}", file=out)
+    print(
+        f"migrated {migrated} entry(ies) in {cache.root} "
+        f"({current} already v{DATASET_FORMAT_VERSION}, {failed} failure(s))",
+        file=out,
+    )
+    return 1 if failed else 0
+
+
 def cmd_plan(args, out) -> int:
     plan = synthetic_plan(
         args.seed,
@@ -808,6 +985,7 @@ def cmd_evaluate(args, out) -> int:
 
 
 _COMMANDS = {
+    "cache": cmd_cache,
     "plan": cmd_plan,
     "evaluate": cmd_evaluate,
     "study": cmd_study,

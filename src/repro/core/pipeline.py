@@ -86,6 +86,12 @@ class StudyConfig:
     #: decision to the ``REPRO_FAULT_PROFILE`` environment variable;
     #: outputs are unchanged unless a plan is actually active.
     fault_plan: Optional["FaultPlan"] = None
+    #: Optional path for the serve layer's snapshot blockfile.  When
+    #: set, :func:`repro.serve.app.build_app` writes the collected
+    #: series there once at boot, maps it read-only, and
+    #: ``POST /ingest/day`` appends a segment at EOF instead of
+    #: rewriting — reads stay byte-identical to the in-memory mode.
+    serve_blockfile: Optional[str] = None
 
     @classmethod
     def quick(cls, seed: int = 0) -> "StudyConfig":

@@ -19,8 +19,9 @@ Key versioning is deliberately separate from payload versioning
 (:data:`repro.scan.storage.DATASET_FORMAT_VERSION`): a payload schema
 bump does **not** change the key, so entries written under the old
 schema still *hit* and are migrated on read — snapshot readers decode
-legacy v2 dict payloads and rewrite the entry columnar (v3), and the
-campaign reader accepts both schema versions unchanged.  Bumping
+legacy v2 dict and v3 varint payloads and rewrite the entry as a v4
+blockfile pair, and the campaign reader accepts all schema versions
+unchanged.  Bumping
 :data:`FORMAT_VERSION` instead would orphan every existing entry and
 force a cold re-simulation.
 
@@ -169,20 +170,23 @@ class _JsonFileCache:
             return False
 
     def clear(self) -> int:
-        """Drop every entry; returns how many files were removed.
+        """Drop everything; returns entries plus orphans removed.
 
-        Also sweeps orphaned ``*.tmp`` files left behind by writers
-        that crashed between creating the temp file and the atomic
-        rename — the old ``*.json``-only glob leaked them forever.
+        Each entry counts once regardless of how many files represent
+        it on disk (a v4 pair's ``*.rbf`` sidecar is swept silently
+        with its ``*.json`` document).  Orphaned ``*.tmp`` files left
+        behind by writers that crashed between creating the temp file
+        and the atomic rename count individually — they are leaks, not
+        entries, and the old ``*.json``-only glob kept them forever.
         """
         removed = 0
         if not self.root.is_dir():
             return removed
-        for pattern in ("*.json", "*.tmp"):
+        for pattern in ("*.json", "*.rbf", "*.tmp"):
             for path in self.root.glob(pattern):
                 try:
                     path.unlink()
-                    removed += 1
+                    removed += pattern != "*.rbf"
                 except OSError:
                     pass
         return removed
@@ -229,10 +233,102 @@ class _JsonFileCache:
 
 
 class SnapshotCache(_JsonFileCache):
-    """A content-keyed store of :meth:`SnapshotSeries.to_payload` blobs."""
+    """A content-keyed store of collected snapshot series.
+
+    Since payload format v4 an entry is a *pair* of files: the
+    ``<key>.json`` document holds the metadata (name, networks, days,
+    totals) plus a pointer to a ``<key>.rbf`` sidecar blockfile
+    (:mod:`repro.scan.blockfile`) carrying the prefix table and raw
+    count columns.  :meth:`store_series` writes the pair (blockfile
+    first, JSON last — the JSON rename is the commit point, so a torn
+    writer can only ever leave an unreferenced sidecar behind, never a
+    referenced-but-missing one).  :meth:`load` validates the sidecar's
+    header and record checksums and repairs the whole entry if either
+    half is corrupt or missing.  Pre-v4 entries remain single JSON
+    files and are migrated on read by the collector.
+    """
 
     def __init__(self, root: Optional[os.PathLike] = None):
         super().__init__(pathlib.Path(root) if root is not None else default_cache_root())
+
+    def blockfile_path_for(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.rbf"
+
+    def load(self, key: str) -> Optional[dict]:
+        """The stored payload, with the v4 sidecar validated and resolved.
+
+        For v4 entries the sidecar blockfile is opened once to check
+        its header and per-record checksums (bodies are not hashed —
+        that is :meth:`~repro.scan.blockfile.BlockFileReader.verify`'s
+        job, exposed via ``repro cache verify``), and its absolute path
+        is injected as ``payload["blockfile_path"]`` for the decoder.
+        A missing or structurally corrupt sidecar repairs the entry
+        exactly like torn JSON: both files are deleted, the read counts
+        as a miss, and the next store rewrites the pair.
+        """
+        payload = super().load(key)
+        if payload is None or payload.get("version", 2) < 4:
+            return payload
+        from .blockfile import BlockFileError, BlockFileReader
+
+        path = self.root / payload.get("blockfile", f"{key}.rbf")
+        try:
+            reader = BlockFileReader.open(path)
+            reader.close()
+        except (BlockFileError, OSError):
+            self.hits -= 1
+            self.misses += 1
+            self.corrupt_entries += 1
+            self.invalidate(key)
+            return None
+        payload["blockfile_path"] = str(path)
+        return payload
+
+    def store_series(self, key: str, series) -> pathlib.Path:
+        """Persist a series as a v4 blockfile + JSON metadata pair.
+
+        The sidecar is written through a unique temp file and renamed
+        into place before the JSON document (itself atomic), so racing
+        writers — who by construction serialise identical bytes for a
+        given key — each publish a complete pair and the last rename
+        wins.  A failure on either half cleans up its temp file
+        (counted in :attr:`tmp_cleanups`) before propagating.
+        """
+        from .blockfile import encode_records
+
+        self.root.mkdir(parents=True, exist_ok=True)
+        prefixes, ordinals, columns, totals = series.blockfile_parts()
+        blob = encode_records(
+            prefixes, ordinals, columns, totals, series.sorted_unique_ptrs()
+        )
+        digest = hashlib.sha256(blob).hexdigest()
+        target = self.blockfile_path_for(key)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        committed = False
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, target)
+            committed = True
+        finally:
+            if not committed:
+                self.tmp_cleanups += 1
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+        return self.store(
+            key, series.to_cache_payload(target.name, digest, len(blob))
+        )
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry — both the JSON document and its sidecar."""
+        removed = super().invalidate(key)
+        try:
+            self.blockfile_path_for(key).unlink()
+        except OSError:
+            pass
+        return removed
 
     @staticmethod
     def key_for(

@@ -53,9 +53,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Campaign payload versions this reader accepts.  The canonical
 #: :data:`~repro.scan.storage.DATASET_FORMAT_VERSION` moved to
 #: ``scan/storage.py`` when v3 made *snapshot* payloads columnar; the
-#: campaign schema is unchanged between v2 and v3, so v2 entries stay
-#: valid hits rather than forcing a cold re-simulation.
-COMPATIBLE_DATASET_VERSIONS = (2, DATASET_FORMAT_VERSION)
+#: campaign schema is unchanged across v2–v4 (the v4 blockfile bump is
+#: snapshot-only too), so older entries stay valid hits rather than
+#: forcing a cold re-simulation.
+COMPATIBLE_DATASET_VERSIONS = (2, 3, DATASET_FORMAT_VERSION)
 
 #: The paper's nine selected networks, in Table 4 order.
 SUPPLEMENTAL_NETWORKS = [
@@ -92,6 +93,14 @@ class CampaignMetrics:
     cache_hit: bool = False
     cache_key: Optional[str] = None
     cache_stored: bool = False
+    #: Bytes of worker results that crossed the process boundary as
+    #: packed columnar blobs instead of pickled column objects; zero on
+    #: serial (and cache-hit) runs.  Reported under
+    #: ``timings.execution`` only — run-shape, not science.
+    transport_bytes: int = 0
+    #: The subset of :attr:`transport_bytes` that spilled to temp files
+    #: rather than shared memory.
+    spill_bytes: int = 0
     simulate_seconds: float = 0.0
     total_seconds: float = 0.0
     per_network_seconds: Dict[str, float] = field(default_factory=dict)
@@ -518,6 +527,8 @@ class SupplementalCampaign:
             effective_workers=metrics.effective_workers,
             cache_hit=metrics.cache_hit,
             cache_stored=metrics.cache_stored,
+            transport_bytes=metrics.transport_bytes,
+            spill_bytes=metrics.spill_bytes,
         )
         if cache is not None:
             cache.export_metrics(obs, section="campaign", baseline=cache_baseline)
@@ -602,7 +613,7 @@ class SupplementalCampaign:
         effective = effective_campaign_workers(workers, len(self.network_names))
         metrics.effective_workers = effective
         if effective > 1:
-            return run_networks(self, start, end, workers=effective)
+            return run_networks(self, start, end, workers=effective, metrics=metrics)
         return [
             run_network_campaign(
                 self.world,

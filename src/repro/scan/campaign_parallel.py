@@ -66,14 +66,23 @@ def _init_worker(blob: bytes) -> None:
     _WORKER_STATE = pickle.loads(blob)
 
 
-def _run_one(task: Tuple[str, str, str]) -> "NetworkCampaignResult":
-    """Run one network's campaign inside a worker process."""
+def _run_one(task: Tuple[str, str, str]):
+    """Run one network's campaign inside a worker process.
+
+    The heavy observation columns are packed into one columnar blob
+    and published out-of-band (:mod:`repro.scan.transport`); only a
+    lightweight result shell plus the
+    :class:`~repro.scan.transport.BlobHandle` ride the result pickle.
+    """
+    from dataclasses import replace
+
+    from repro.scan import transport
     from repro.scan.campaign import run_network_campaign
 
     assert _WORKER_STATE is not None, "worker state missing (initializer did not run)"
     world, schedule, sweep_interval, rdns_rate, blocklist, fault_plan = _WORKER_STATE
     name, start_iso, end_iso = task
-    return run_network_campaign(
+    result = run_network_campaign(
         world,
         name,
         dt.date.fromisoformat(start_iso),
@@ -84,6 +93,10 @@ def _run_one(task: Tuple[str, str, str]) -> "NetworkCampaignResult":
         blocklist=blocklist,
         fault_plan=fault_plan,
     )
+    handle = transport.publish(
+        transport.pack_campaign_columns(result.icmp, result.rdns)
+    )
+    return replace(result, icmp=None, rdns=None), handle
 
 
 def run_networks(
@@ -92,14 +105,19 @@ def run_networks(
     end: dt.date,
     *,
     workers: int,
+    metrics=None,
 ) -> List["NetworkCampaignResult"]:
     """Run every campaign network on a process pool, in campaign order.
 
     Raises ``ValueError`` if the platform lacks ``fork`` and the world
     cannot be pickled (worlds from
-    :func:`repro.netsim.internet.build_world` always can).
+    :func:`repro.netsim.internet.build_world` always can).  ``metrics``
+    (a :class:`~repro.scan.campaign.CampaignMetrics`) receives the
+    result-transport byte totals.
     """
     global _WORKER_STATE
+    from repro.scan import transport
+
     if workers < 2:
         raise ValueError("run_networks needs at least 2 workers; use run() for serial")
 
@@ -124,6 +142,7 @@ def run_networks(
             pool_workers=max_workers,
         )
 
+    transport.ensure_parent_tracker()
     if use_fork:
         # Fork workers inherit the world via copy-on-write: zero
         # serialisation cost, which is what makes small worlds still
@@ -134,9 +153,10 @@ def run_networks(
                 max_workers=max_workers,
                 mp_context=multiprocessing.get_context("fork"),
             ) as pool:
-                return list(pool.map(_run_one, tasks))
+                shells = list(pool.map(_run_one, tasks))
         finally:
             _WORKER_STATE = None
+        return _hydrate(campaign, shells, metrics)
 
     try:
         blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
@@ -150,4 +170,32 @@ def run_networks(
         initializer=_init_worker,
         initargs=(blob,),
     ) as pool:
-        return list(pool.map(_run_one, tasks))
+        shells = list(pool.map(_run_one, tasks))
+    return _hydrate(campaign, shells, metrics)
+
+
+def _hydrate(
+    campaign: "SupplementalCampaign", shells, metrics
+) -> List["NetworkCampaignResult"]:
+    """Re-attach each result's observation columns from its blob."""
+    from dataclasses import replace
+
+    from repro.scan import transport
+
+    stats = transport.TransportStats()
+    results: List["NetworkCampaignResult"] = []
+    for shell, handle in shells:
+        stats.count(handle)
+        icmp, rdns = transport.consume(handle, transport.unpack_campaign_columns)
+        results.append(replace(shell, icmp=icmp, rdns=rdns))
+    if campaign.obs is not None:
+        campaign.obs.record_execution(
+            "campaign_pool",
+            accumulate=True,
+            transport_bytes=stats.transport_bytes,
+            spill_bytes=stats.spill_bytes,
+        )
+    if metrics is not None:
+        metrics.transport_bytes += stats.transport_bytes
+        metrics.spill_bytes += stats.spill_bytes
+    return results

@@ -14,7 +14,13 @@ pins this).
 Two transport paths keep the fixed cost low.  Where ``fork`` is
 available (Linux), workers inherit the :class:`~repro.netsim.internet.Internet`
 through copy-on-write memory — no pickling at all.  Elsewhere the world
-is pickled once and shipped via the pool initializer.
+is pickled once and shipped via the pool initializer.  Results travel
+the other way as packed columnar blobs through
+:mod:`repro.scan.transport` (shared memory by default): a worker
+returns a :class:`~repro.scan.transport.BlobHandle` instead of pickled
+per-day dicts, and the parent unpacks straight out of the shared
+buffer — the serialize-merge tax that used to make small-chunk
+parallelism slower than serial is gone.
 
 :func:`effective_workers` implements the never-slower rule: short
 windows don't amortise pool start-up, so the pool size is capped by
@@ -130,10 +136,14 @@ def _init_worker(blob: bytes) -> None:
     _WORKER_STATE = pickle.loads(blob)
 
 
-def _collect_chunk(
-    ordinals: List[int],
-) -> List[Tuple[int, Dict[str, int], Set[str]]]:
-    """Derive one contiguous chunk of days inside a worker process."""
+def _collect_chunk(ordinals: List[int]):
+    """Derive one contiguous chunk of days inside a worker process.
+
+    Returns a :class:`~repro.scan.transport.BlobHandle` over the packed
+    day results — the parent unpacks via
+    :func:`~repro.scan.transport.unpack_day_chunk`.
+    """
+    from repro.scan import transport
     from repro.scan.snapshot import derive_day
 
     assert _WORKER_STATE is not None, "worker state missing (initializer did not run)"
@@ -143,15 +153,17 @@ def _collect_chunk(
         day = dt.date.fromordinal(ordinal)
         counts, ptrs = derive_day(internet, network_names, day, at_offset)
         results.append((ordinal, counts, ptrs))
-    return results
+    return transport.publish(transport.pack_day_chunk(results))
 
 
-def _records_chunk(ordinals: List[int]) -> List[Tuple[int, List[Tuple[int, str]]]]:
+def _records_chunk(ordinals: List[int]):
     """Derive one chunk of full per-day record lists inside a worker.
 
-    Addresses travel as raw 32-bit ints (cheap to pickle); the parent
+    Addresses travel as raw 32-bit ints in a packed column; the parent
     rebuilds ``IPv4Address`` objects on ingestion.
     """
+    from repro.scan import transport
+
     assert _WORKER_STATE is not None, "worker state missing (initializer did not run)"
     internet, network_names, at_offset = _WORKER_STATE
     if network_names is None:
@@ -167,7 +179,7 @@ def _records_chunk(ordinals: List[int]) -> List[Tuple[int, List[Tuple[int, str]]
             for address, hostname in network.records_on(day, at_offset=at_offset)
         ]
         results.append((ordinal, records))
-    return results
+    return transport.publish(transport.pack_record_chunk(results))
 
 
 def chunk_days(days: Sequence[dt.date], workers: int) -> List[List[dt.date]]:
@@ -190,6 +202,7 @@ def collect_days(
     *,
     workers: int,
     obs=None,
+    metrics=None,
 ) -> "SnapshotSeries":
     """Collect ``days`` for ``collector`` on a process pool.
 
@@ -197,11 +210,15 @@ def collect_days(
     cannot be pickled (worlds built by
     :func:`repro.netsim.internet.build_world` always can).  ``obs`` (an
     :class:`repro.obs.Observability` handle) receives the pool shape —
-    transport, chunk and worker counts — under ``timings.execution``;
-    those vary with the host, never the collected series.
+    transport, chunk and worker counts, result-blob bytes — under
+    ``timings.execution``; those vary with the host, never the
+    collected series.  ``metrics`` (a
+    :class:`~repro.scan.snapshot.CollectionMetrics`) additionally
+    receives the ``transport_bytes``/``spill_bytes`` totals.
     """
     global _WORKER_STATE
     from repro.obs import resolve_obs
+    from repro.scan import transport
     from repro.scan.snapshot import SnapshotSeries
 
     if workers < 2:
@@ -220,10 +237,14 @@ def collect_days(
     network_names = list(collector.networks) if collector.networks is not None else None
     state = (collector.internet, network_names, collector.at_offset)
     max_workers = min(workers, len(chunks))
-    chunk_results = _map_chunks(
+    handles = _map_chunks(
         state, chunks, max_workers, _collect_chunk, obs=obs, section="snapshot_pool"
     )
-    _ingest(series, chunk_results)
+    stats = transport.TransportStats()
+    for handle in handles:
+        stats.count(handle)
+        _ingest(series, [transport.consume(handle, transport.unpack_day_chunk)])
+    _record_transport(obs, "snapshot_pool", stats, metrics)
     return series
 
 
@@ -247,21 +268,26 @@ def sample_day_records(
     """
     import ipaddress
 
+    from repro.scan import transport
+
     if workers < 2:
         raise ValueError("sample_day_records needs at least 2 workers")
     chunks = [[day.toordinal() for day in chunk] for chunk in chunk_days(days, workers)]
     state = (internet, list(network_names) if network_names is not None else None, at_offset)
     max_workers = min(workers, len(chunks))
-    chunk_results = _map_chunks(
+    handles = _map_chunks(
         state, chunks, max_workers, _records_chunk, obs=obs, section="sample_pool"
     )
+    stats = transport.TransportStats()
     records: List[Tuple[object, str]] = []
-    for chunk_result in chunk_results:
-        for _, day_records in chunk_result:
+    for handle in handles:
+        stats.count(handle)
+        for _, day_records in transport.consume(handle, transport.unpack_record_chunk):
             records.extend(
                 (ipaddress.IPv4Address(value), hostname)
                 for value, hostname in day_records
             )
+    _record_transport(obs, "sample_pool", stats, None)
     return records
 
 
@@ -283,7 +309,9 @@ def _map_chunks(
     """
     global _WORKER_STATE
     from repro.obs import resolve_obs
+    from repro.scan.transport import ensure_parent_tracker
 
+    ensure_parent_tracker()
     use_fork = "fork" in multiprocessing.get_all_start_methods()
     resolve_obs(obs).record_execution(
         section,
@@ -318,6 +346,26 @@ def _map_chunks(
         initargs=(blob,),
     ) as pool:
         return list(pool.map(task, chunks))
+
+
+def _record_transport(obs, section: str, stats, metrics) -> None:
+    """Fold a pool's result-transport byte counts into obs and metrics.
+
+    These are run-shape numbers (a serial run moves zero bytes), so
+    they live under ``timings.execution`` — never in the deterministic
+    manifest sections.
+    """
+    from repro.obs import resolve_obs
+
+    resolve_obs(obs).record_execution(
+        section,
+        accumulate=True,
+        transport_bytes=stats.transport_bytes,
+        spill_bytes=stats.spill_bytes,
+    )
+    if metrics is not None:
+        metrics.transport_bytes += stats.transport_bytes
+        metrics.spill_bytes += stats.spill_bytes
 
 
 def _ingest(series: "SnapshotSeries", chunk_results) -> None:

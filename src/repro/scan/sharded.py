@@ -93,10 +93,12 @@ def _collect_shard_chunk(task):
 
     ``task`` is ``(shard_id, names, ordinals)``; the worker state (set
     by :func:`repro.scan.parallel._map_chunks`) carries the plan
-    payload and snapshot offset.  Returns ``(shard_id, [(ordinal,
-    counts, ptrs), ...])``.
+    payload and snapshot offset.  Returns ``(shard_id, handle)`` — the
+    day results travel as one packed columnar blob
+    (:func:`repro.scan.transport.pack_day_chunk`), not pickled dicts.
     """
     import repro.scan.parallel as parallel
+    from repro.scan import transport
 
     assert parallel._WORKER_STATE is not None, "worker state missing"
     plan_payload, at_offset = parallel._WORKER_STATE
@@ -107,7 +109,7 @@ def _collect_shard_chunk(task):
         day = dt.date.fromordinal(ordinal)
         counts, ptrs = derive_day(world.internet, None, day, at_offset)
         results.append((ordinal, counts, ptrs))
-    return shard_id, results
+    return shard_id, transport.publish(transport.pack_day_chunk(results))
 
 
 class ShardedCollector:
@@ -234,6 +236,8 @@ class ShardedCollector:
 
         derived: Dict[Tuple[int, int], Tuple[Dict[str, int], Set[str]]] = {}
         if metrics.effective_workers > 1:
+            from repro.scan import transport
+
             state = (plan_payload, self.at_offset)
             shard_results = _map_chunks(
                 state,
@@ -243,9 +247,20 @@ class ShardedCollector:
                 obs=self.obs,
                 section="shard_pool",
             )
-            for shard_id, chunk_result in shard_results:
+            stats = transport.TransportStats()
+            for shard_id, handle in shard_results:
+                stats.count(handle)
+                chunk_result = transport.consume(handle, transport.unpack_day_chunk)
                 for ordinal, counts, ptrs in chunk_result:
                     derived[(shard_id, ordinal)] = (counts, ptrs)
+            obs.record_execution(
+                "shard_pool",
+                accumulate=True,
+                transport_bytes=stats.transport_bytes,
+                spill_bytes=stats.spill_bytes,
+            )
+            metrics.transport_bytes += stats.transport_bytes
+            metrics.spill_bytes += stats.spill_bytes
         else:
             # Serial path: one shard world in memory at a time.
             for shard_id, names in enumerate(blocks):
@@ -278,7 +293,7 @@ class ShardedCollector:
 
         if cache is not None and key is not None:
             try:
-                cache.store(key, series.to_payload())
+                cache.store_series(key, series)
                 metrics.cache_stored = True
             except (OSError, TypeError, ValueError):
                 metrics.cache_store_failed = True
@@ -294,11 +309,17 @@ def _campaign_shard_task(task):
 
     ``task`` is ``(shard_id, names, start_ordinal, end_ordinal)``;
     worker state carries the plan payload and campaign parameters.
-    Returns ``(shard_id, [per-network result dict, ...])`` — the dict
-    carries the targets/type/size metadata the coordinator needs for
-    the merged dataset without ever building the networks itself.
+    Returns ``(shard_id, [per-network result dict, ...], handle)`` —
+    the dicts carry the targets/type/size metadata the coordinator
+    needs for the merged dataset without ever building the networks
+    itself, while the heavy observation columns travel as one packed
+    batch blob (:func:`repro.scan.transport.pack_campaign_batch`)
+    outside the result pickle.
     """
+    from dataclasses import replace
+
     import repro.scan.parallel as parallel
+    from repro.scan import transport
 
     assert parallel._WORKER_STATE is not None, "worker state missing"
     (
@@ -313,7 +334,7 @@ def _campaign_shard_task(task):
     world = _shard_world(plan_payload, names)
     start = dt.date.fromordinal(start_ordinal)
     end = dt.date.fromordinal(end_ordinal)
-    return shard_id, [
+    entries = [
         _network_entry(world, name, start, end,
                        schedule=schedule,
                        sweep_interval=sweep_interval,
@@ -322,6 +343,14 @@ def _campaign_shard_task(task):
                        fault_plan=fault_plan)
         for name in names
     ]
+    handle = transport.publish(
+        transport.pack_campaign_batch(
+            (entry["result"].icmp, entry["result"].rdns) for entry in entries
+        )
+    )
+    for entry in entries:
+        entry["result"] = replace(entry["result"], icmp=None, rdns=None)
+    return shard_id, entries, handle
 
 
 def _network_entry(
@@ -506,7 +535,30 @@ class ShardedCampaign:
                 obs=self.obs,
                 section="shard_campaign_pool",
             )
-            ordered = dict(shard_results)
+            from dataclasses import replace
+
+            from repro.scan import transport
+
+            stats = transport.TransportStats()
+            ordered: Dict[int, List[Dict[str, Any]]] = {}
+            for shard_id, entries, handle in shard_results:
+                stats.count(handle)
+                columns = transport.consume(
+                    handle, transport.unpack_campaign_batch
+                )
+                for entry, (icmp, rdns) in zip(entries, columns):
+                    entry["result"] = replace(
+                        entry["result"], icmp=icmp, rdns=rdns
+                    )
+                ordered[shard_id] = entries
+            obs.record_execution(
+                "shard_campaign_pool",
+                accumulate=True,
+                transport_bytes=stats.transport_bytes,
+                spill_bytes=stats.spill_bytes,
+            )
+            metrics.transport_bytes += stats.transport_bytes
+            metrics.spill_bytes += stats.spill_bytes
             per_shard = [ordered[shard_id] for shard_id in range(len(batches))]
         else:
             per_shard = []

@@ -31,6 +31,7 @@ from repro.netsim.internet import Internet
 from repro.netsim.network import Network
 from repro.netsim.simtime import days_between
 from repro.scan.storage import (
+    COLUMNAR_PAYLOAD_VERSION,
     DATASET_FORMAT_VERSION,
     CountMatrix,
     PrefixTable,
@@ -79,6 +80,16 @@ class CollectionMetrics:
     #: file was cleaned up — see ``_JsonFileCache.tmp_cleanups``); the
     #: collection itself still succeeded, only persistence was lost.
     cache_store_failed: bool = False
+    #: Bytes of worker results that crossed the process boundary as
+    #: packed columnar blobs (shared-memory segments or inline bytes)
+    #: instead of pickled dicts.  Zero for serial runs.  Run-shape
+    #: detail, so it is reported under ``timings.execution``, never in
+    #: the deterministic manifest sections.
+    transport_bytes: int = 0
+    #: The subset of :attr:`transport_bytes` that went through on-disk
+    #: spill files rather than shared memory (``REPRO_POOL_TRANSPORT=
+    #: spill`` or a shared-memory publish failure).
+    spill_bytes: int = 0
     simulate_seconds: float = 0.0
     total_seconds: float = 0.0
 
@@ -138,6 +149,43 @@ def derive_day(
         for _, hostname in network.records_on(day, at_offset=at_offset):
             ptrs.add(hostname)
     return counts, ptrs
+
+
+class LazyPtrSet:
+    """Unique PTR names backed by a blockfile's PTRS records.
+
+    Installed by :meth:`SnapshotSeries.from_payload` for v4 cache
+    pairs: ``len()`` answers from the record headers without decoding
+    a single name (the warm-stats path), while any real set operation
+    — iteration, membership, :meth:`update` — materialises the names
+    from the sidecar first.
+    """
+
+    def __init__(self, reader):
+        self._reader = reader
+        self._names: Optional[Set[str]] = None
+
+    def _materialise(self) -> Set[str]:
+        if self._names is None:
+            self._names = self._reader.unique_ptrs()
+        return self._names
+
+    def __len__(self) -> int:
+        if self._names is None:
+            return self._reader.unique_ptr_count
+        return len(self._names)
+
+    def __iter__(self):
+        return iter(self._materialise())
+
+    def __contains__(self, name) -> bool:
+        return name in self._materialise()
+
+    def add(self, name: str) -> None:
+        self._materialise().add(name)
+
+    def update(self, names) -> None:
+        self._materialise().update(names)
 
 
 class SnapshotSeries:
@@ -357,15 +405,19 @@ class SnapshotSeries:
     def to_payload(self) -> dict:
         """A JSON-serialisable snapshot of the collected state.
 
-        The v3 (:data:`~repro.scan.storage.DATASET_FORMAT_VERSION`)
-        format is columnar: the interned prefix table is stored once
-        and each day's counts are a delta-encoded varint column
+        The self-contained columnar document
+        (:data:`~repro.scan.storage.COLUMNAR_PAYLOAD_VERSION`, v3): the
+        interned prefix table is stored once and each day's counts are
+        a delta-encoded varint column
         (:func:`~repro.scan.storage.encode_count_columns`), so a warm
         decode no longer re-parses ``O(days × prefixes)`` JSON dict
-        keys.
+        keys.  This remains the wire/export format; the *cache* stores
+        series as v4 blockfile pairs via
+        :meth:`~repro.scan.cache.SnapshotCache.store_series` (see
+        :meth:`to_cache_payload`).
         """
         return {
-            "version": DATASET_FORMAT_VERSION,
+            "version": COLUMNAR_PAYLOAD_VERSION,
             "name": self.name,
             "networks": self._network_names,
             "at_offset": self._at_offset,
@@ -378,6 +430,50 @@ class SnapshotSeries:
             "unique_ptrs": sorted(self._unique_ptrs),
         }
 
+    def blockfile_parts(self) -> Tuple[List[str], List[int], list, List[int]]:
+        """``(prefixes, day_ordinals, columns, totals)`` for the blockfile.
+
+        Columns are handed out as-is (heap arrays or zero-copy views),
+        so re-encoding an mmap-backed series never materialises the
+        matrix.
+        """
+        matrix = self._matrix
+        return (
+            list(matrix.prefixes.values),
+            [day.toordinal() for day in self._days],
+            [matrix.column(index) for index in range(matrix.day_count)],
+            list(matrix.totals),
+        )
+
+    def sorted_unique_ptrs(self) -> List[str]:
+        """The unique PTR names in sorted order (for the PTRS record)."""
+        return sorted(self._unique_ptrs)
+
+    def to_cache_payload(self, blockfile: str, sha256: str, nbytes: int) -> dict:
+        """The v4 cache JSON document referencing a sidecar blockfile.
+
+        The count data *and* the unique PTR names live in the ``.rbf``
+        sidecar (:mod:`repro.scan.blockfile`); this document carries
+        only the metadata plus the sidecar's name, size and SHA-256
+        (checked by ``repro cache verify``).  ``unique_ptr_count`` is
+        denormalised here so inspection tools can report it without
+        touching the sidecar; decoders take it from the PTRS record
+        headers instead.
+        """
+        return {
+            "version": DATASET_FORMAT_VERSION,
+            "name": self.name,
+            "networks": self._network_names,
+            "at_offset": self._at_offset,
+            "cadence_days": self._cadence_days,
+            "days": [day.isoformat() for day in self._days],
+            "blockfile": blockfile,
+            "blockfile_sha256": sha256,
+            "blockfile_bytes": nbytes,
+            "total_responses": self._total_responses,
+            "unique_ptr_count": len(self._unique_ptrs),
+        }
+
     @classmethod
     def from_payload(cls, payload: dict, internet: Internet) -> "SnapshotSeries":
         """Rebuild a series from :meth:`to_payload` output.
@@ -387,10 +483,14 @@ class SnapshotSeries:
         layer guarantees this by keying entries on
         :meth:`~repro.netsim.internet.Internet.cache_token`.
 
-        Payloads from the pre-columnar era (``version`` absent or
-        ``<= 2``: per-day ``{prefix: count}`` JSON dicts) are migrated
-        transparently — the collector additionally rewrites such cache
-        entries in the v3 format so later reads take the fast path.
+        Payloads from earlier eras are migrated transparently: v2
+        (``version`` absent or ``<= 2``, per-day ``{prefix: count}``
+        JSON dicts) and v3 (inline varint columns) both decode here,
+        and the collector additionally rewrites such cache entries as
+        v4 blockfile pairs so later reads take the zero-copy path.  A
+        v4 payload must carry ``blockfile_path`` (injected by
+        :meth:`~repro.scan.cache.SnapshotCache.load`); its matrix is
+        mmap-backed — count columns are views into the file.
         """
         series = cls(
             payload["name"],
@@ -401,7 +501,18 @@ class SnapshotSeries:
         )
         series._days = [dt.date.fromisoformat(text) for text in payload["days"]]
         series._day_index = {day: index for index, day in enumerate(series._days)}
-        if payload.get("version", 2) >= 3:
+        if payload.get("version", 2) >= 4:
+            from repro.scan.blockfile import BlockFileReader
+
+            reader = BlockFileReader.open(payload["blockfile_path"])
+            if reader.days != [day.toordinal() for day in series._days]:
+                raise ValueError(
+                    f"blockfile day ordinals disagree with the payload's "
+                    f"{len(series._days)} declared days"
+                )
+            series._matrix = reader.count_matrix()
+            series._unique_ptrs = LazyPtrSet(reader)
+        elif payload.get("version", 2) >= 3:
             series._matrix = decode_count_columns(
                 payload["prefixes"], payload["columns"], payload.get("daily_totals")
             )
@@ -419,7 +530,9 @@ class SnapshotSeries:
                 f"for {len(series._days)} days"
             )
         series._total_responses = int(payload["total_responses"])
-        series._unique_ptrs = set(payload["unique_ptrs"])
+        if "unique_ptrs" in payload:
+            series._unique_ptrs = set(payload["unique_ptrs"])
+        # else: v4 pair — the lazy sidecar-backed set installed above.
         return series
 
 
@@ -537,6 +650,8 @@ class SnapshotCollector:
             workers=metrics.workers,
             effective_workers=metrics.effective_workers,
             cache_hit=metrics.cache_hit,
+            transport_bytes=metrics.transport_bytes,
+            spill_bytes=metrics.spill_bytes,
         )
         if cache is not None:
             cache.export_metrics(obs, section="snapshot", baseline=cache_baseline)
@@ -579,11 +694,12 @@ class SnapshotCollector:
                 metrics.simulate_seconds = time.perf_counter() - simulate_started
                 if payload.get("version", 2) < DATASET_FORMAT_VERSION:
                     # Transparent migration: rewrite the legacy entry
-                    # columnar so the next warm read skips dict parsing.
+                    # as a v4 blockfile pair so the next warm read is
+                    # mmap + frombuffer instead of varint/dict parsing.
                     # Best-effort — the decoded series is already good,
                     # so a failed rewrite only costs the fast path.
                     try:
-                        cache.store(key, series.to_payload())
+                        cache.store_series(key, series)
                         metrics.cache_migrated = True
                     except (OSError, TypeError, ValueError):
                         metrics.cache_store_failed = True
@@ -595,7 +711,11 @@ class SnapshotCollector:
             from repro.scan.parallel import collect_days
 
             series = collect_days(
-                self, days, workers=metrics.effective_workers, obs=self.obs
+                self,
+                days,
+                workers=metrics.effective_workers,
+                obs=self.obs,
+                metrics=metrics,
             )
         else:
             series = SnapshotSeries(
@@ -614,7 +734,7 @@ class SnapshotCollector:
             # Best-effort: losing the cache write (full disk, bad
             # payload) must not lose the freshly collected series.
             try:
-                cache.store(key, series.to_payload())
+                cache.store_series(key, series)
                 metrics.cache_stored = True
             except (OSError, TypeError, ValueError):
                 metrics.cache_store_failed = True

@@ -45,7 +45,23 @@ _ADDR = "I" if array("I").itemsize >= 4 else "L"
 #:   once and per-day counts are delta-encoded varint columns
 #:   (:func:`encode_count_columns`).  Campaign payloads are unchanged
 #:   between v2 and v3, so campaign readers accept both.
-DATASET_FORMAT_VERSION = 3
+#: * v4 — snapshot cache entries went binary: the JSON document keeps
+#:   only the metadata (name, networks, cadence, totals) plus a
+#:   pointer to a sidecar ``.rbf`` blockfile
+#:   (:mod:`repro.scan.blockfile`) holding the prefix table and raw
+#:   little-endian ``u32`` count columns, mmap-ed and exposed as
+#:   zero-copy views on load.  ``SnapshotSeries.to_payload()`` still
+#:   emits the self-contained v3 document (the wire/export format);
+#:   v4 exists only as the cache's at-rest representation.  Campaign
+#:   payloads are again unchanged.
+DATASET_FORMAT_VERSION = 4
+
+#: The self-contained columnar document :meth:`SnapshotSeries.to_payload`
+#: emits (prefix table + base64-varint columns inline).  This is the
+#: wire/export format and the shape the byte-identity pins compare; the
+#: v4 cache representation wraps the same data in a JSON-metadata +
+#: blockfile pair instead.
+COLUMNAR_PAYLOAD_VERSION = 3
 
 _STATUSES: Tuple[ResolutionStatus, ...] = tuple(ResolutionStatus)
 _STATUS_INDEX: Dict[ResolutionStatus, int] = {
@@ -145,7 +161,8 @@ class _DayCountsView(Mapping):
         count = self._column[prefix_id]
         if not count:
             raise KeyError(prefix)
-        return count
+        # int() keeps mmap-backed (NumPy) columns JSON-safe.
+        return int(count)
 
     def __iter__(self) -> Iterator[str]:
         values = self._table.values
@@ -172,14 +189,25 @@ class CountMatrix:
     (:meth:`pad` materialises those zeroes in place when an analysis
     pass wants uniform columns).  Per-day totals are accumulated at
     append time so ``daily_totals`` never re-sums.
+
+    A matrix may also be *view-backed* (:meth:`from_columns`): columns
+    are then zero-copy ``u32`` views into an mmap-ed blockfile rather
+    than heap arrays, so a 100k+-prefix world never has to be resident.
+    View columns are read-only; :meth:`pad` materialises a mutable copy
+    of any column it must widen, and :meth:`append_day` simply appends
+    fresh heap columns alongside the views.  Every scalar accessor
+    coerces through ``int()`` so NumPy integers never leak to JSON.
     """
 
-    __slots__ = ("prefixes", "_columns", "_totals")
+    __slots__ = ("prefixes", "_columns", "_totals", "_source")
 
     def __init__(self, prefixes: Optional[PrefixTable] = None):
         self.prefixes = prefixes if prefixes is not None else PrefixTable()
         self._columns: List[array] = []
         self._totals: List[int] = []
+        #: Optional object owning the buffers behind view columns (a
+        #: blockfile reader); held only to pin the mapping's lifetime.
+        self._source = None
 
     # -- building ------------------------------------------------------------
 
@@ -202,6 +230,28 @@ class CountMatrix:
             matrix.append_day(counts)
         return matrix
 
+    @classmethod
+    def from_columns(
+        cls,
+        prefixes: Sequence[str],
+        columns: Sequence[Sequence[int]],
+        totals: Sequence[int],
+        *,
+        source=None,
+    ) -> "CountMatrix":
+        """A matrix over pre-built columns (typically zero-copy views).
+
+        ``columns`` are adopted as-is — NumPy ``frombuffer`` views,
+        ``memoryview`` casts or plain ``array`` objects all work.
+        ``source`` (e.g. a blockfile reader) is retained so the buffer
+        behind the views outlives the caller's handle.
+        """
+        matrix = cls(PrefixTable(prefixes))
+        matrix._columns = list(columns)
+        matrix._totals = [int(total) for total in totals]
+        matrix._source = source
+        return matrix
+
     # -- access --------------------------------------------------------------
 
     @property
@@ -214,7 +264,7 @@ class CountMatrix:
 
     def count(self, index: int, prefix_id: int) -> int:
         column = self._columns[index]
-        return column[prefix_id] if prefix_id < len(column) else 0
+        return int(column[prefix_id]) if prefix_id < len(column) else 0
 
     def day_total(self, index: int) -> int:
         return self._totals[index]
@@ -228,7 +278,7 @@ class CountMatrix:
         """Day ``index`` as a fresh ``{prefix: count}`` dict (non-zero only)."""
         values = self.prefixes.values
         return {
-            values[prefix_id]: count
+            values[prefix_id]: int(count)
             for prefix_id, count in enumerate(self._columns[index])
             if count
         }
@@ -249,8 +299,13 @@ class CountMatrix:
         """
         width = len(self.prefixes)
         itemsize = array(_ADDR).itemsize
-        for column in self._columns:
+        for index, column in enumerate(self._columns):
             if len(column) < width:
+                if not isinstance(column, array):
+                    # View columns (mmap-backed) are read-only; widen a
+                    # mutable heap copy in their place.
+                    column = array(_ADDR, (int(value) for value in column))
+                    self._columns[index] = column
                 column.frombytes(bytes(itemsize * (width - len(column))))
         return self._columns
 
@@ -319,8 +374,10 @@ def encode_count_columns(matrix: CountMatrix) -> List[str]:
         column = matrix.column(index)
         deltas = bytearray(_encode_varints((len(column),)))
         shared = min(len(column), len(previous))
-        values = [column[i] - previous[i] for i in range(shared)]
-        values.extend(column[shared:])
+        # int() guards against unsigned wrap-around when the columns
+        # are mmap-backed u32 views (NumPy would compute 2 - 5 mod 2^32).
+        values = [int(column[i]) - int(previous[i]) for i in range(shared)]
+        values.extend(int(value) for value in column[shared:])
         deltas += _encode_varints(values)
         encoded.append(base64.b64encode(bytes(deltas)).decode("ascii"))
         previous = column

@@ -247,7 +247,9 @@ def build_app(
             workers=workers,
             cache=config.snapshot_cache,
         )
-    snapshots = SnapshotRepository(series)
+    snapshots = SnapshotRepository(
+        series, blockfile_path=getattr(config, "serve_blockfile", None)
+    )
     campaigns = CampaignRepository(
         world,
         start=config.supplemental_start,

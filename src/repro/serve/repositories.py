@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import datetime as dt
 import ipaddress
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.netsim.internet import World
 from repro.netsim.worldplan import WorldPlan
+from repro.scan.blockfile import BlockFileReader, append_day_records, write_blockfile
 from repro.scan.cache import CampaignCache
 from repro.scan.campaign import SupplementalCampaign, SupplementalDataset
 from repro.scan.sharded import ShardedCampaign
@@ -51,10 +53,67 @@ class SnapshotRepository:
     The series' columnar internals (prefix table + count matrix) back
     every read; appends go through the series' own cadence-validated
     ingest, so the repository can never hold an irregular window.
+
+    With ``blockfile_path`` set, the series is re-homed onto an on-disk
+    blockfile (:mod:`repro.scan.blockfile`): the matrix is written once
+    at boot, mapped read-only, and every count read is a zero-copy view
+    into the map instead of heap arrays.  Appends then extend the file
+    — new day records land at EOF (:func:`append_day_records`), the old
+    records are never rewritten — and the repository remaps to pick the
+    new segment up.  Reads are byte-identical to the in-memory mode.
     """
 
-    def __init__(self, series: SnapshotSeries):
+    def __init__(
+        self,
+        series: SnapshotSeries,
+        *,
+        blockfile_path: Optional[Union[str, Path]] = None,
+    ):
         self._series = series
+        self._blockfile_path: Optional[Path] = None
+        self._reader: Optional[BlockFileReader] = None
+        if blockfile_path is not None:
+            self._attach_blockfile(Path(blockfile_path))
+
+    def _attach_blockfile(self, path: Path) -> None:
+        """Write the series' matrix to ``path`` and serve reads from it."""
+        write_blockfile(path, *self._series.blockfile_parts())
+        self._blockfile_path = path
+        self._remap()
+
+    def _remap(self) -> None:
+        """(Re-)open the blockfile and swap the series onto its views.
+
+        The old mapping is closed only after the new one is live;
+        day-count views created from here on read the appended segment.
+        """
+        assert self._blockfile_path is not None
+        reader = BlockFileReader.open(self._blockfile_path)
+        self._series._matrix = reader.count_matrix()
+        previous, self._reader = self._reader, reader
+        if previous is not None:
+            previous.close()
+
+    def _append_blockfile(self, day: dt.date) -> None:
+        """Append ``day``'s freshly ingested column as an EOF segment."""
+        if self._blockfile_path is None:
+            return
+        matrix = self._series.count_matrix()
+        index = self._series.days.index(day)
+        known = len(self._reader.prefixes) if self._reader is not None else 0
+        append_day_records(
+            self._blockfile_path,
+            matrix.prefixes.values[known:],
+            day.toordinal(),
+            matrix.column(index),
+            matrix.day_total(index),
+        )
+        self._remap()
+
+    @property
+    def blockfile_path(self) -> Optional[Path]:
+        """The backing blockfile, or ``None`` in in-memory mode."""
+        return self._blockfile_path
 
     # -- window ---------------------------------------------------------------
 
@@ -119,6 +178,7 @@ class SnapshotRepository:
         which the caller folds into the incremental analyzer.
         """
         self._series._collect_day(day)
+        self._append_blockfile(day)
         return self._series.counts_view(day)
 
     def append_counts(
@@ -126,6 +186,7 @@ class SnapshotRepository:
     ) -> Mapping[str, int]:
         """Append an externally supplied count column for ``day``."""
         self._series._ingest_day(day, dict(counts), set(ptrs or ()))
+        self._append_blockfile(day)
         return self._series.counts_view(day)
 
 

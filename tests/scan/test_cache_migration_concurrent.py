@@ -1,11 +1,12 @@
-"""Concurrent v2→v3 cache migration (two readers, one entry).
+"""Concurrent legacy→v4 cache migration (two readers, one entry).
 
-The collector migrates a legacy (v2, dict-shaped) cache entry in place
-on read: decode, then rewrite columnar.  Two processes can race that
-rewrite on a shared cache root; because the store path is
-write-temp-then-``os.replace``, both readers must decode correctly and
-the root must end up with exactly one valid v3 file — no torn rewrite,
-no leaked ``*.tmp``.
+The collector migrates a legacy (v2 dict-shaped or v3 inline-columnar)
+cache entry in place on read: decode, then rewrite as a v4 blockfile
+pair.  Two processes can race that rewrite on a shared cache root;
+because both halves of the store path are
+write-temp-then-``os.replace`` (sidecar first, JSON as the commit
+point), both readers must decode correctly and the root must end up
+with exactly one valid v4 pair — no torn rewrite, no leaked ``*.tmp``.
 """
 
 import datetime as dt
@@ -26,8 +27,13 @@ def collect(world, cache=None):
     return collector, series
 
 
-def seed_legacy_entry(root) -> str:
-    """Write an authentic v2 payload under the key a collection uses."""
+def seed_legacy_entry(root, version=2) -> str:
+    """Write an authentic pre-v4 payload under the key a collection uses.
+
+    ``version=2`` plants the dict-shaped legacy payload, ``version=3``
+    the self-contained inline-columnar document — the two migration
+    sources the reader must handle.
+    """
     world = build_world(seed=SEED, scale=WorldScale.small())
     collector, series = collect(world)
     cache = SnapshotCache(root)
@@ -40,14 +46,15 @@ def seed_legacy_entry(root) -> str:
         cadence_days=collector.cadence_days,
         at_offset=collector.at_offset,
     )
-    cache.store(key, legacy_dict_payload(series))
+    payload = legacy_dict_payload(series) if version == 2 else series.to_payload()
+    assert payload.get("version", 2) == version
+    cache.store(key, payload)
     return key
 
 
 class TestConcurrentMigration:
-    def test_two_readers_one_valid_v3_file(self, tmp_path):
-        key = seed_legacy_entry(tmp_path)
-
+    def _race_two_readers(self, tmp_path, key):
+        """Race two readers over one legacy entry; assert one v4 pair."""
         barrier = threading.Barrier(2)
         results = {}
         errors = []
@@ -83,18 +90,24 @@ class TestConcurrentMigration:
             assert series.count_matrix() == reference.count_matrix()
             assert series.stats() == reference.stats()
 
-        # Exactly one valid cache file, no torn rewrite, no tmp leak.
+        # Exactly one valid cache pair, no torn rewrite, no tmp leak.
         json_files = sorted(tmp_path.glob("*.json"))
         assert [path.stem for path in json_files] == [key]
+        assert [path.stem for path in sorted(tmp_path.glob("*.rbf"))] == [key]
         assert list(tmp_path.glob("*.tmp")) == []
 
-        # The rewritten entry is v3 and decodes to the same series.
+        # The rewritten entry is a v4 blockfile pair whose sidecar
+        # passes a full integrity sweep and decodes to the same series.
         final = SnapshotCache(tmp_path)
         payload = final.load(key)
         assert payload is not None, "entry must not be corrupt"
-        assert payload["version"] == 3
+        assert payload["version"] == 4
 
+        from repro.scan.blockfile import BlockFileReader
         from repro.scan.snapshot import SnapshotSeries
+
+        with BlockFileReader.open(final.blockfile_path_for(key)) as reader:
+            reader.verify()
 
         decoded = SnapshotSeries.from_payload(payload, reference_world.internet)
         assert decoded.days == reference.days
@@ -103,3 +116,9 @@ class TestConcurrentMigration:
         # At least one reader performed the migration; a reader that
         # lost the race may still report it (idempotent rewrite).
         assert any(metrics.cache_migrated for metrics, _ in results.values())
+
+    def test_two_readers_one_valid_v4_pair_from_v2(self, tmp_path):
+        self._race_two_readers(tmp_path, seed_legacy_entry(tmp_path, version=2))
+
+    def test_two_readers_one_valid_v4_pair_from_v3(self, tmp_path):
+        self._race_two_readers(tmp_path, seed_legacy_entry(tmp_path, version=3))

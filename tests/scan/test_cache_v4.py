@@ -1,0 +1,106 @@
+"""The v4 snapshot cache representation: blockfile pair store/load/repair."""
+
+import datetime as dt
+import json
+
+from repro.netsim.internet import WorldScale, build_world
+from repro.scan.blockfile import BlockFileReader
+from repro.scan.cache import SnapshotCache
+from repro.scan.snapshot import SnapshotCollector, SnapshotSeries
+from repro.scan.storage import DATASET_FORMAT_VERSION
+
+START = dt.date(2021, 1, 1)
+END = dt.date(2021, 1, 8)
+
+
+def collect(cache=None, seed=5):
+    world = build_world(seed=seed, scale=WorldScale.small())
+    collector = SnapshotCollector.openintel_style(world.internet)
+    series = collector.collect(START, END, cache=cache)
+    return collector, series
+
+
+class TestStoreSeries:
+    def test_cold_store_writes_pair(self, tmp_path):
+        cache = SnapshotCache(tmp_path)
+        collector, series = collect(cache)
+        key = collector.last_metrics.cache_key
+        assert collector.last_metrics.cache_stored
+
+        document = json.loads(cache.path_for(key).read_text())
+        assert document["version"] == DATASET_FORMAT_VERSION
+        assert document["blockfile"] == f"{key}.rbf"
+        sidecar = cache.blockfile_path_for(key)
+        assert sidecar.is_file()
+        assert document["blockfile_bytes"] == sidecar.stat().st_size
+        with BlockFileReader.open(sidecar) as reader:
+            reader.verify()
+            assert reader.days == [day.toordinal() for day in series.days]
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_warm_hit_is_byte_identical_and_mmap_backed(self, tmp_path):
+        cache = SnapshotCache(tmp_path)
+        _, cold = collect(cache)
+        collector, warm = collect(cache)
+        assert collector.last_metrics.cache_hit
+        assert not collector.last_metrics.cache_migrated
+        assert json.dumps(warm.to_payload(), sort_keys=True) == json.dumps(
+            cold.to_payload(), sort_keys=True
+        )
+        # The warm matrix is view-backed: its source pins the mapping.
+        assert warm.count_matrix()._source is not None
+
+    def test_load_resolves_blockfile_path(self, tmp_path):
+        cache = SnapshotCache(tmp_path)
+        collector, _ = collect(cache)
+        payload = cache.load(collector.last_metrics.cache_key)
+        assert payload["blockfile_path"] == str(
+            cache.blockfile_path_for(collector.last_metrics.cache_key)
+        )
+        series = SnapshotSeries.from_payload(payload, None)
+        assert series.days[0] == START
+
+
+class TestRepair:
+    def test_corrupt_sidecar_repairs_whole_entry(self, tmp_path):
+        cache = SnapshotCache(tmp_path)
+        collector, cold = collect(cache)
+        key = collector.last_metrics.cache_key
+        sidecar = cache.blockfile_path_for(key)
+        blob = bytearray(sidecar.read_bytes())
+        blob[8] ^= 0xFF  # alignment field: breaks the header CRC
+        sidecar.write_bytes(bytes(blob))
+
+        assert cache.load(key) is None
+        assert cache.corrupt_entries == 1
+        assert not cache.path_for(key).exists()
+        assert not sidecar.exists()
+
+        # The next collection recollects and restores a valid pair.
+        collector, again = collect(cache)
+        assert collector.last_metrics.cache_stored
+        assert json.dumps(again.to_payload(), sort_keys=True) == json.dumps(
+            cold.to_payload(), sort_keys=True
+        )
+
+    def test_missing_sidecar_repairs_entry(self, tmp_path):
+        cache = SnapshotCache(tmp_path)
+        collector, _ = collect(cache)
+        key = collector.last_metrics.cache_key
+        cache.blockfile_path_for(key).unlink()
+        assert cache.load(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_invalidate_drops_both_halves(self, tmp_path):
+        cache = SnapshotCache(tmp_path)
+        collector, _ = collect(cache)
+        key = collector.last_metrics.cache_key
+        assert cache.invalidate(key)
+        assert not cache.path_for(key).exists()
+        assert not cache.blockfile_path_for(key).exists()
+
+    def test_clear_sweeps_sidecars(self, tmp_path):
+        cache = SnapshotCache(tmp_path)
+        collect(cache)
+        assert cache.clear() == 1  # one entry (its sidecar swept with it)
+        assert list(tmp_path.iterdir()) == []

@@ -11,6 +11,7 @@ from repro.netsim.internet import WorldScale, build_world
 from repro.scan import SnapshotCache, SnapshotCollector
 from repro.scan.snapshot import SnapshotSeries, legacy_dict_payload
 from repro.scan.storage import (
+    COLUMNAR_PAYLOAD_VERSION,
     DATASET_FORMAT_VERSION,
     CountMatrix,
     PrefixTable,
@@ -118,7 +119,10 @@ class TestPayloadMigration:
 
     def test_v3_roundtrip(self, series):
         payload = series.to_payload()
-        assert payload["version"] == DATASET_FORMAT_VERSION
+        # to_payload() stays the self-contained v3 wire format; v4 is
+        # the cache's at-rest representation only.
+        assert payload["version"] == COLUMNAR_PAYLOAD_VERSION
+        assert COLUMNAR_PAYLOAD_VERSION < DATASET_FORMAT_VERSION
         rebuilt = SnapshotSeries.from_payload(payload, series._internet)
         assert rebuilt.days == series.days
         for day in series.days:
@@ -154,7 +158,8 @@ class TestPayloadMigration:
         assert collector.last_metrics.cache_migrated
         for day in cold.days:
             assert warm.counts_by_slash24(day) == cold.counts_by_slash24(day)
-        # The entry was rewritten columnar: the next read is a plain v3 hit.
+        # The entry was rewritten as a v4 blockfile pair: the next read
+        # is a plain zero-copy hit.
         stored = json.loads(cache.path_for(key).read_text())
         assert stored["version"] == DATASET_FORMAT_VERSION
         again = collector.collect(START, end, cache=cache)
